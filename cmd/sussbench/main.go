@@ -1,0 +1,177 @@
+// Command sussbench regenerates the paper's evaluation: every figure
+// and table of §6 plus the appendix experiments, printed as rows
+// shaped like the paper's plots.
+//
+// Usage:
+//
+//	sussbench                 # everything at default fidelity
+//	sussbench -only fig11     # one experiment
+//	sussbench -iters 10       # more repetitions per data point
+//	sussbench -quick          # reduced sweep for a fast smoke pass
+//
+// Experiment ids: fig01 fig02 fig09 fig11 fig13 fig14 fig15 fig16
+// table1 matrix (= fig17+fig18) ablations webmix futurework appendixB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"suss/internal/experiments"
+	"suss/internal/scenarios"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment id (empty = all)")
+	iters := flag.Int("iters", 5, "iterations per stochastic data point")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	outDir := flag.String("out", "", "also write CSV data files to this directory (fig11, matrix)")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create -out dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	writeCSV := func(name string, fn func(io.Writer) error) {
+		if *outDir == "" {
+			return
+		}
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
+			return
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
+			return
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	run := func(id string) bool {
+		return *only == "" || strings.EqualFold(*only, id)
+	}
+	start := time.Now()
+	ran := 0
+
+	sizes := experiments.DefaultSizes
+	matrixSizes := []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 12 << 20}
+	fig14Sizes := []int64{2 << 20, 4 << 20, 8 << 20, 16 << 20, 24 << 20, 40 << 20}
+	large := int64(100 << 20)
+	joinAt, horizon := 30*time.Second, 75*time.Second
+	if *quick {
+		sizes = []int64{512 << 10, 2 << 20, 8 << 20}
+		matrixSizes = []int64{2 << 20, 8 << 20}
+		fig14Sizes = []int64{2 << 20, 8 << 20, 24 << 20}
+		large = 40 << 20
+		joinAt, horizon = 15*time.Second, 40*time.Second
+	}
+
+	if run("fig01") {
+		ran++
+		emit(experiments.RunFig01(60<<20, *seed).Render())
+	}
+	if run("fig02") {
+		ran++
+		// The BBR panel uses the v2-lite model: our BBRv1 model keeps
+		// the buffer pinned and starves late joiners (the known
+		// BBRv1-vs-droptail pathology); v2's loss-bounded inflight
+		// reproduces the paper's Fig. 2(b) convergence. See
+		// EXPERIMENTS.md.
+		for _, algo := range []experiments.Algo{experiments.Cubic, experiments.BBR2} {
+			emit(experiments.RunFig02(algo, 100*time.Millisecond, 1, joinAt, horizon).Render())
+		}
+	}
+	if run("fig09") || run("fig10") {
+		ran++
+		emit(experiments.RunFig09(25<<20, *seed).Render())
+	}
+	if run("fig11") || run("fig12") {
+		ran++
+		r := experiments.RunFig11(scenarios.GoogleTokyo, sizes, *iters, *seed)
+		emit(r.Render())
+		writeCSV("fig11.csv", r.WriteCSV)
+	}
+	if run("fig13") {
+		ran++
+		emit(experiments.RunFig13(*seed).Render())
+	}
+	if run("fig14") {
+		ran++
+		emit(experiments.RunFig14(fig14Sizes, *iters, *seed).Render())
+	}
+	if run("fig15") {
+		ran++
+		cfgs := experiments.Fig15Configs()
+		if *quick {
+			cfgs = cfgs[:4]
+		}
+		for _, cfg := range cfgs {
+			emit(experiments.RunFig15(cfg, joinAt, horizon).Render())
+		}
+	}
+	if run("fig16") {
+		ran++
+		emit(experiments.RunFig16(experiments.Cubic, experiments.Suss, 100*time.Millisecond, 1, large).Render())
+	}
+	if run("table1") {
+		ran++
+		algos := []experiments.Algo{experiments.Cubic, experiments.BBR, experiments.BBR2}
+		if *quick {
+			algos = algos[:1]
+		}
+		for _, la := range algos {
+			emit(experiments.RunTable1(la, large).Render())
+		}
+	}
+	if run("matrix") || run("fig17") || run("fig18") {
+		ran++
+		r := experiments.RunMatrix(matrixSizes, *iters, *seed)
+		emit(r.Render())
+		writeCSV("matrix.csv", r.WriteCSV)
+	}
+	if run("ablations") {
+		ran++
+		emit(experiments.RunAblationMechanisms(4<<20, *iters, *seed).Render())
+		emit(experiments.RunAblationKmax(8<<20, *iters, *seed).Render())
+		emit(experiments.RunSlowStartExitComparison(2<<20, *iters, *seed).Render())
+		emit(experiments.RunAQMComparison(4<<20, *iters, *seed).Render())
+	}
+	if run("webmix") {
+		ran++
+		nflows := 120
+		if *quick {
+			nflows = 40
+		}
+		emit(experiments.RunWebMix(nflows, 3, *seed).Render())
+	}
+	if run("futurework") {
+		ran++
+		emit(experiments.RunFutureWorkBBRSuss([]int64{512 << 10, 2 << 20, 8 << 20}, *iters, *seed).Render())
+	}
+	if run("appendixB") {
+		ran++
+		emit(experiments.RunBtlBwVariation("drop", 8<<20, *seed).Render())
+		emit(experiments.RunBtlBwVariation("rise", 8<<20, *seed).Render())
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func emit(s string) {
+	fmt.Println(s)
+}

@@ -1,0 +1,133 @@
+// Command sussim runs a single simulated download and prints the
+// outcome, optionally dumping the cwnd/RTT/delivered trace as CSV —
+// the userspace equivalent of the paper's kernel-log instrumentation.
+//
+// Usage:
+//
+//	sussim -algo suss -size 4MB -rate 100 -rtt 100ms
+//	sussim -scenario google-tokyo/4g -algo cubic -size 2MB
+//	sussim -algo suss -size 8MB -trace trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"suss"
+)
+
+func main() {
+	algoName := flag.String("algo", "suss", "cubic | suss | bbr | bbr2")
+	sizeStr := flag.String("size", "2MB", "transfer size (e.g. 512KB, 4MB)")
+	rate := flag.Float64("rate", 100, "last-hop mean rate in Mbit/s (custom path)")
+	rtt := flag.Duration("rtt", 100*time.Millisecond, "propagation RTT (custom path)")
+	buffer := flag.Float64("buffer", 0, "bottleneck buffer in BDP (0 = link default)")
+	link := flag.String("link", "wired", "wired | wifi | 4g | 5g (custom path)")
+	scenario := flag.String("scenario", "", "run a named internet scenario instead (see -list)")
+	list := flag.Bool("list", false, "list internet scenarios and exit")
+	seed := flag.Int64("seed", 1, "impairment RNG seed")
+	kmax := flag.Int("kmax", 0, "SUSS growth exponent bound (0 = paper default 1)")
+	tracePath := flag.String("trace", "", "write cwnd/RTT/delivered CSV to this file")
+	flag.Parse()
+
+	if *list {
+		for _, s := range suss.Scenarios() {
+			fmt.Println(s)
+		}
+		return
+	}
+
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var res suss.Result
+	var pts []suss.TracePoint
+	if *scenario != "" {
+		res, err = suss.RunScenario(suss.InternetScenario(*scenario), algo, size, *seed)
+	} else {
+		cfg := suss.PathConfig{
+			RateMbps:  *rate,
+			RTT:       *rtt,
+			BufferBDP: *buffer,
+			Link:      suss.LinkType(*link),
+			Seed:      *seed,
+			Kmax:      *kmax,
+		}
+		res, pts, err = suss.RunTrace(cfg, algo, size, time.Millisecond)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("algo=%s size=%s\n", algo, *sizeStr)
+	fmt.Printf("  FCT           %v\n", res.FCT.Round(time.Microsecond))
+	fmt.Printf("  goodput       %.2f Mbit/s\n", float64(res.DeliveredBytes)*8/res.FCT.Seconds()/1e6)
+	fmt.Printf("  retrans/RTOs  %d / %d\n", res.Retransmissions, res.RTOs)
+	fmt.Printf("  loss rate     %.3f%%\n", 100*res.LossRate)
+	if algo == suss.CUBICWithSUSS {
+		fmt.Printf("  SUSS          max G=%d, %d accelerated rounds\n", res.MaxG, res.AcceleratedRounds)
+	}
+
+	if *tracePath != "" {
+		if pts == nil {
+			log.Fatal("tracing is only available for custom paths (-rate/-rtt), not -scenario")
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "t_ms,cwnd_bytes,srtt_ms,delivered_bytes")
+		for _, p := range pts {
+			fmt.Fprintf(f, "%.3f,%d,%.3f,%d\n",
+				float64(p.T)/1e6, p.CwndBytes, float64(p.SRTT)/1e6, p.Delivered)
+		}
+		fmt.Printf("  trace         %d samples → %s\n", len(pts), *tracePath)
+	}
+}
+
+func parseAlgo(s string) (suss.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "cubic":
+		return suss.CUBIC, nil
+	case "suss", "cubic+suss":
+		return suss.CUBICWithSUSS, nil
+	case "bbr", "bbrv1":
+		return suss.BBRv1, nil
+	case "bbr2", "bbrv2":
+		return suss.BBRv2Lite, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}

@@ -1,0 +1,29 @@
+// Package suss is a userspace reproduction of "SUSS: Improving TCP
+// Performance by Speeding Up Slow-Start" (ACM SIGCOMM 2024): the SUSS
+// congestion-control add-on itself, the CUBIC+HyStart host algorithm
+// it extends, BBRv1/BBRv2-lite baselines, a deterministic
+// discrete-event network simulator with netem-style impairments, and
+// runners that regenerate every table and figure in the paper's
+// evaluation.
+//
+// This package is the public façade. A downstream user picks a path
+// (either a synthetic one via PathConfig or one of the paper's 28
+// internet scenarios), an Algorithm, and a transfer size:
+//
+//	res, err := suss.Run(suss.PathConfig{
+//		RateMbps:  100,
+//		RTT:       100 * time.Millisecond,
+//		BufferBDP: 1,
+//	}, suss.CUBICWithSUSS, 2<<20)
+//
+// Res carries the flow completion time, loss statistics, and the SUSS
+// growth-factor history. RunTrace additionally returns the cwnd / RTT
+// / delivered time series the paper's kernel logging produced.
+//
+// The heavy machinery lives under internal/: netsim (event loop,
+// links, topologies), netem (impairments), tcp (transport + CC hooks),
+// cubic, core (SUSS), bbr, scenarios (the 7×4 internet matrix and the
+// local dumbbell testbed), experiments (per-figure runners), stats and
+// trace. The cmd/sussbench binary regenerates the full evaluation;
+// cmd/sussim runs a single flow with tracing.
+package suss

@@ -1,0 +1,48 @@
+package suss_test
+
+import (
+	"fmt"
+	"time"
+
+	"suss"
+)
+
+// The headline comparison: the same 2 MB transfer over a large-BDP
+// path with SUSS off and on. The simulator is deterministic, so this
+// example's output is stable.
+func ExampleCompareFCT() {
+	cfg := suss.PathConfig{RateMbps: 100, RTT: 100 * time.Millisecond, BufferBDP: 1, Seed: 42}
+	base, accel, imp, err := suss.CompareFCT(cfg, suss.CUBIC, suss.CUBICWithSUSS, 2<<20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("CUBIC %v → CUBIC+SUSS %v (%.0f%% faster, max G=%d)\n",
+		base.FCT.Round(time.Millisecond), accel.FCT.Round(time.Millisecond), 100*imp, accel.MaxG)
+	// Output:
+	// CUBIC 772ms → CUBIC+SUSS 522ms (32% faster, max G=4)
+}
+
+// Running a named internet scenario from the paper's 28-cell matrix.
+func ExampleRunScenario() {
+	res, err := suss.RunScenario("google-tokyo/wired", suss.CUBICWithSUSS, 1<<20, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivered %d bytes, accelerated rounds: %d\n", res.DeliveredBytes, res.AcceleratedRounds)
+	// Output:
+	// delivered 1048576 bytes, accelerated rounds: 4
+}
+
+// Tracing a flow's congestion window the way the paper's kernel
+// logging does (Fig. 9).
+func ExampleRunTrace() {
+	cfg := suss.PathConfig{RateMbps: 100, RTT: 100 * time.Millisecond, BufferBDP: 1, Seed: 1}
+	_, pts, err := suss.RunTrace(cfg, suss.CUBICWithSUSS, 1<<20, 50*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trace has samples: %v, cwnd grows: %v\n",
+		len(pts) > 3, pts[len(pts)-1].CwndBytes > pts[0].CwndBytes)
+	// Output:
+	// trace has samples: true, cwnd grows: true
+}

@@ -1,0 +1,55 @@
+// Flowsweep: FCT versus flow size for BBR, CUBIC and CUBIC+SUSS over
+// one of the paper's internet scenarios — the Fig. 11/12 view of where
+// SUSS's gains live (small flows) and where they taper off (large
+// flows).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"suss"
+)
+
+func main() {
+	scenario := flag.String("scenario", "google-tokyo/wifi", "internet scenario (see -list)")
+	list := flag.Bool("list", false, "list available scenarios and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range suss.Scenarios() {
+			fmt.Println(s)
+		}
+		return
+	}
+
+	sizes := []int64{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20}
+	algos := []suss.Algorithm{suss.BBRv1, suss.CUBIC, suss.CUBICWithSUSS}
+
+	fmt.Printf("FCT vs flow size on %s\n", *scenario)
+	fmt.Printf("%-8s %12s %12s %12s %14s\n", "size", "bbr", "cubic", "cubic+suss", "suss gain")
+	for _, size := range sizes {
+		var fcts []time.Duration
+		for _, algo := range algos {
+			res, err := suss.RunScenario(suss.InternetScenario(*scenario), algo, size, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fcts = append(fcts, res.FCT)
+		}
+		gain := 1 - fcts[2].Seconds()/fcts[1].Seconds()
+		fmt.Printf("%-8s %12v %12v %12v %13.1f%%\n",
+			sizeLabel(size),
+			fcts[0].Round(time.Millisecond), fcts[1].Round(time.Millisecond),
+			fcts[2].Round(time.Millisecond), 100*gain)
+	}
+}
+
+func sizeLabel(n int64) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%gMB", float64(n)/(1<<20))
+	}
+	return fmt.Sprintf("%gKB", float64(n)/(1<<10))
+}

@@ -1,0 +1,43 @@
+// Wireless: download over a simulated 4G last hop (stochastic
+// bandwidth, correlated jitter, deep buffer) and print the cwnd ramp
+// with SUSS off and on — the paper's Fig. 9 view, as a CLI.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"suss"
+)
+
+func main() {
+	cfg := suss.PathConfig{
+		RateMbps: 150, // LTE-A class link, as calibrated from the paper's Fig. 9
+		RTT:      190 * time.Millisecond,
+		Link:     suss.LTE4G,
+		Seed:     7,
+	}
+	const size = 16 << 20
+
+	for _, algo := range []suss.Algorithm{suss.CUBIC, suss.CUBICWithSUSS} {
+		res, pts, err := suss.RunTrace(cfg, algo, size, 100*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — FCT %v, loss %.3f%%, retrans %d\n",
+			algo, res.FCT.Round(time.Millisecond), 100*res.LossRate, res.Retransmissions)
+		fmt.Println("   t        cwnd(segs)  srtt      delivered")
+		for _, p := range pts {
+			if p.T > 3*time.Second {
+				break
+			}
+			fmt.Printf("   %-8v %-11d %-9v %6.2f MB\n",
+				p.T.Round(10*time.Millisecond), p.CwndBytes/1448,
+				p.SRTT.Round(time.Millisecond), float64(p.Delivered)/(1<<20))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note how SUSS roughly halves the rounds needed to open the window,")
+	fmt.Println("while the smoothed RTT stays flat during the accelerated ramp.")
+}

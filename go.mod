@@ -1,0 +1,3 @@
+module suss
+
+go 1.22

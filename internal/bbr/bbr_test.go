@@ -1,0 +1,192 @@
+package bbr
+
+import (
+	"testing"
+	"time"
+
+	"suss/internal/cc"
+)
+
+type fakeEnv struct {
+	now time.Duration
+	mss int
+}
+
+type fakeTimer struct{}
+
+func (fakeTimer) Stop() bool   { return false }
+func (fakeTimer) Active() bool { return false }
+
+func (f *fakeEnv) Now() time.Duration                           { return f.now }
+func (f *fakeEnv) Schedule(d time.Duration, fn func()) cc.Timer { return fakeTimer{} }
+func (f *fakeEnv) Kick()                                        {}
+func (f *fakeEnv) MSS() int                                     { return f.mss }
+
+// driveRounds feeds n synthetic rounds at the given delivery rate
+// (bits/sec) and RTT.
+func driveRounds(b *BBR, env *fakeEnv, n int, rate float64, rtt time.Duration, inflight int64) {
+	bytesPerRound := int64(rate / 8 * rtt.Seconds())
+	var cum, delivered int64 = 1, 0
+	for i := 0; i < n; i++ {
+		env.now += rtt
+		delivered += bytesPerRound
+		cum += bytesPerRound
+		b.OnAck(cc.AckEvent{
+			Now:        env.now,
+			AckedBytes: int(bytesPerRound),
+			CumAck:     cum,
+			SndNxt:     cum + bytesPerRound/2,
+			RTT:        rtt,
+			Inflight:   inflight,
+			Delivered:  delivered,
+			BW:         rate,
+		})
+	}
+}
+
+func TestStartupUsesHighGain(t *testing.T) {
+	env := &fakeEnv{mss: 1448}
+	b := New(env, DefaultOptions())
+	if b.State() != "STARTUP" {
+		t.Fatalf("initial state %s", b.State())
+	}
+	if b.PacingRate() != 0 {
+		t.Error("no pacing before the first bandwidth sample")
+	}
+	driveRounds(b, env, 2, 1e8, 100*time.Millisecond, 1<<20)
+	bw := b.BtlBw()
+	if bw == 0 {
+		t.Fatal("no bandwidth estimate after two rounds")
+	}
+	if got := b.PacingRate(); got < bw*2.8 || got > bw*2.9 {
+		t.Errorf("startup pacing rate = %v, want ≈2.885×%v", got, bw)
+	}
+}
+
+func TestStartupExitsWhenPipeFull(t *testing.T) {
+	env := &fakeEnv{mss: 1448}
+	b := New(env, DefaultOptions())
+	// Constant delivery rate: growth stalls, STARTUP must end within
+	// a handful of rounds and drain toward PROBE_BW.
+	driveRounds(b, env, 10, 1e8, 100*time.Millisecond, 8<<20)
+	if b.State() == "STARTUP" {
+		t.Fatalf("still in STARTUP after 10 flat rounds")
+	}
+	// Drain completes once inflight ≤ BDP (≈1.25 MB).
+	driveRounds(b, env, 3, 1e8, 100*time.Millisecond, 1<<20)
+	if b.State() != "PROBE_BW" {
+		t.Errorf("state = %s, want PROBE_BW", b.State())
+	}
+}
+
+func TestCwndTracksBDP(t *testing.T) {
+	env := &fakeEnv{mss: 1448}
+	b := New(env, DefaultOptions())
+	driveRounds(b, env, 10, 1e8, 100*time.Millisecond, 1<<20)
+	bdp := 1e8 / 8 * 0.1
+	w := float64(b.CwndBytes())
+	if w < 1.5*bdp || w > 2.5*bdp {
+		t.Errorf("cwnd = %v, want ≈2×BDP (%v)", w, 2*bdp)
+	}
+}
+
+func TestProbeRTTAfterWindowExpiry(t *testing.T) {
+	env := &fakeEnv{mss: 1448}
+	b := New(env, DefaultOptions())
+	driveRounds(b, env, 10, 1e8, 100*time.Millisecond, 1<<20)
+	if b.State() != "PROBE_BW" {
+		t.Fatalf("setup failed: %s", b.State())
+	}
+	// 10+ seconds without a new min sample → PROBE_RTT. Samples keep
+	// arriving at a higher RTT so the windowed min expires.
+	for i := 0; i < 120; i++ {
+		driveRounds(b, env, 1, 1e8, 110*time.Millisecond, 1<<20)
+		if b.State() == "PROBE_RTT" {
+			break
+		}
+	}
+	if b.State() != "PROBE_RTT" {
+		t.Fatalf("never entered PROBE_RTT")
+	}
+	if got := b.CwndBytes(); got != 4*1448 {
+		t.Errorf("PROBE_RTT cwnd = %d, want 4 segments", got)
+	}
+	// After ~200 ms it returns to PROBE_BW.
+	driveRounds(b, env, 3, 1e8, 100*time.Millisecond, 4*1448)
+	if b.State() != "PROBE_BW" {
+		t.Errorf("state after probe = %s, want PROBE_BW", b.State())
+	}
+}
+
+func TestV1IgnoresLoss(t *testing.T) {
+	env := &fakeEnv{mss: 1448}
+	b := New(env, DefaultOptions())
+	driveRounds(b, env, 10, 1e8, 100*time.Millisecond, 1<<20)
+	before := b.CwndBytes()
+	b.OnLoss(cc.LossEvent{Now: env.now, Inflight: 1 << 20, LostBytes: 3 * 1448})
+	if b.CwndBytes() != before {
+		t.Errorf("BBRv1 cwnd changed on loss: %d → %d", before, b.CwndBytes())
+	}
+}
+
+func TestV2LossBoundsInflight(t *testing.T) {
+	env := &fakeEnv{mss: 1448}
+	b := New(env, V2Options())
+	driveRounds(b, env, 10, 1e8, 100*time.Millisecond, 1<<20)
+	before := b.CwndBytes()
+	b.OnLoss(cc.LossEvent{Now: env.now, Inflight: before, LostBytes: 3 * 1448})
+	after := b.CwndBytes()
+	if after >= before {
+		t.Errorf("BBRv2 cwnd not reduced on loss: %d → %d", before, after)
+	}
+	want := int64(float64(before) * 0.7)
+	if after < want-1448 || after > want+1448 {
+		t.Errorf("cwnd = %d, want ≈0.7×%d", after, before)
+	}
+	// Loss-free rounds relax the ceiling again.
+	driveRounds(b, env, 20, 1e8, 100*time.Millisecond, 1<<20)
+	if b.CwndBytes() <= after {
+		t.Error("ceiling never relaxed after loss-free rounds")
+	}
+}
+
+func TestProbeBWGainCycle(t *testing.T) {
+	env := &fakeEnv{mss: 1448}
+	b := New(env, DefaultOptions())
+	driveRounds(b, env, 10, 1e8, 100*time.Millisecond, 1<<20)
+	if b.State() != "PROBE_BW" {
+		t.Fatalf("setup failed: %s", b.State())
+	}
+	seen := map[float64]bool{}
+	for i := 0; i < 16; i++ {
+		driveRounds(b, env, 1, 1e8, 100*time.Millisecond, 1<<20)
+		seen[b.pacingGain] = true
+	}
+	if !seen[1.25] || !seen[0.75] || !seen[1.0] {
+		t.Errorf("gain cycle incomplete: %v", seen)
+	}
+}
+
+func TestAppLimitedSamplesDontDropEstimate(t *testing.T) {
+	env := &fakeEnv{mss: 1448}
+	b := New(env, DefaultOptions())
+	driveRounds(b, env, 6, 1e8, 100*time.Millisecond, 1<<20)
+	bw := b.BtlBw()
+	// App-limited rounds delivering a trickle must not lower BtlBw.
+	bytesPerRound := int64(1e6 / 8 * 0.1)
+	cum := int64(1e18 / 2)
+	delivered := int64(1e12)
+	for i := 0; i < 5; i++ {
+		env.now += 100 * time.Millisecond
+		delivered += bytesPerRound
+		cum += bytesPerRound
+		b.OnAck(cc.AckEvent{
+			Now: env.now, AckedBytes: int(bytesPerRound), CumAck: cum,
+			SndNxt: cum + 1, RTT: 100 * time.Millisecond,
+			Inflight: 1448, Delivered: delivered, AppLimited: true,
+		})
+	}
+	if b.BtlBw() < bw*0.99 {
+		t.Errorf("app-limited rounds dropped BtlBw: %v → %v", bw, b.BtlBw())
+	}
+}

@@ -1,0 +1,73 @@
+package bbr_test
+
+import (
+	"testing"
+	"time"
+
+	"suss/internal/bbr"
+	"suss/internal/netsim"
+	"suss/internal/tcp"
+)
+
+func runBoostFlow(t *testing.T, size int64, rate float64, owd time.Duration, boosted bool) (*tcp.Flow, *bbr.BBR) {
+	t.Helper()
+	sim := netsim.NewSimulator()
+	bdp := rate / 8 * (2 * owd).Seconds()
+	p := netsim.NewPath(sim, netsim.PathSpec{Forward: []netsim.LinkConfig{
+		{Name: "core", Rate: 1e9, Delay: owd / 2, QueueBytes: 64 << 20},
+		{Name: "bneck", Rate: rate, Delay: owd - owd/2, QueueBytes: int(1.5 * bdp)},
+	}})
+	f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
+	opt := bbr.DefaultOptions()
+	if boosted {
+		opt = bbr.SUSSOptions()
+	}
+	ctrl := bbr.New(f.Sender, opt)
+	f.Sender.SetController(ctrl)
+	f.StartAt(sim, 0)
+	sim.Run(10 * time.Minute)
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	return f, ctrl
+}
+
+func TestSussBoostAcceleratesStartup(t *testing.T) {
+	// The §7 integration: on a large-BDP path, BBR+SUSS must finish a
+	// small flow faster than plain BBR by boosting STARTUP rounds.
+	size := int64(4 << 20)
+	plain, _ := runBoostFlow(t, size, 1e8, 50*time.Millisecond, false)
+	boosted, ctrl := runBoostFlow(t, size, 1e8, 50*time.Millisecond, true)
+	if ctrl.BoostedRounds() == 0 {
+		t.Fatal("no rounds were boosted on a 100 Mbps × 100 ms path")
+	}
+	imp := 1 - boosted.FCT().Seconds()/plain.FCT().Seconds()
+	t.Logf("bbr=%v bbr+suss=%v improvement=%.1f%% boosted rounds=%d",
+		plain.FCT(), boosted.FCT(), 100*imp, ctrl.BoostedRounds())
+	if imp < 0.10 {
+		t.Errorf("BBR+SUSS improvement %.1f%%, want ≥10%%", 100*imp)
+	}
+}
+
+func TestSussBoostHarmlessOnSmallBDP(t *testing.T) {
+	// On a small-BDP path STARTUP is over in a couple of rounds; the
+	// boost must not hurt.
+	size := int64(1 << 20)
+	plain, _ := runBoostFlow(t, size, 2e7, 5*time.Millisecond, false)
+	boosted, _ := runBoostFlow(t, size, 2e7, 5*time.Millisecond, true)
+	if boosted.FCT() > plain.FCT()*12/10 {
+		t.Errorf("boost hurt a small-BDP flow: %v vs %v", boosted.FCT(), plain.FCT())
+	}
+}
+
+func TestSussBoostStopsAfterStartup(t *testing.T) {
+	// Large transfer: boosts happen only in the early rounds; steady
+	// state is plain PROBE_BW.
+	_, ctrl := runBoostFlow(t, 30<<20, 1e8, 50*time.Millisecond, true)
+	if ctrl.State() == "STARTUP" {
+		t.Error("still in STARTUP after 30 MB")
+	}
+	if b := ctrl.BoostedRounds(); b > 10 {
+		t.Errorf("boost ran %d rounds; must be confined to early STARTUP", b)
+	}
+}

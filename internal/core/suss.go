@@ -1,0 +1,530 @@
+// Package core implements SUSS (Speeding Up Slow Start), the paper's
+// primary contribution: a sender-side add-on to CUBIC's slow start
+// that predicts — from the current round's ACK train and RTT
+// measurements — whether exponential cwnd growth will continue next
+// round, and if so accelerates the current round's growth factor from
+// 2 to up to 2^(kmax+1), releasing the additional ("red") packets with
+// a novel combination of ACK clocking and packet pacing:
+//
+//   - Clocking period: standard slow start — each blue ACK clocks out
+//     twice the acknowledged data, preserving the ΔtBat measurement
+//     that HyStart and the growth-factor estimator depend on.
+//   - Guard interval: a computed silence (Eq. 12) separating clocked
+//     from paced transmissions in both this and the next round.
+//   - Pacing period: the remaining S_Rdt bytes of the enlarged window
+//     are released at cwnd_i/minRTT (Eq. 11), with cwnd raised
+//     gradually so an aborted pacing period leaves no window overhang.
+//
+// The modified HyStart of the paper's Fig. 8 runs on blue ACKs only,
+// scales elapsed time by the data-train/blue-train ratio (Eq. 9), and
+// converts a mid-round stop signal into a growth cap rather than an
+// immediate exit.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"suss/internal/cc"
+	"suss/internal/cubic"
+)
+
+// Options configures SUSS.
+type Options struct {
+	// Kmax bounds the growth-factor exponent per Algorithm 1:
+	// G ≤ 2^(Kmax+1). The paper's deployed configuration is Kmax = 1
+	// (quadrupling); Appendix A generalizes it.
+	Kmax int
+	// AckTrainFrac is HyStart Condition 1's threshold as a fraction of
+	// minRTT (default 0.5).
+	AckTrainFrac float64
+	// DelayFactor is HyStart Condition 2's threshold multiplier on
+	// minRTT (default 1.125).
+	DelayFactor float64
+	// Cubic configures the host algorithm. Its built-in HyStart is
+	// forcibly disabled; SUSS runs the modified variant.
+	Cubic cubic.Options
+
+	// NoPacing disables the pacing period: the red window is granted
+	// as one immediate burst ("clocking only" ablation, §4).
+	NoPacing bool
+	// PaceEverything paces all slow-start transmissions at
+	// cwnd/minRTT, destroying the ΔtBat measurement ("pacing only"
+	// ablation, §4).
+	PaceEverything bool
+	// NoGuard starts the pacing period immediately after the clocking
+	// period (guard-interval ablation).
+	NoGuard bool
+}
+
+// DefaultOptions returns the paper's deployed configuration.
+func DefaultOptions() Options {
+	return Options{
+		Kmax:         1,
+		AckTrainFrac: 0.5,
+		DelayFactor:  1.125,
+		Cubic:        cubic.DefaultOptions(),
+	}
+}
+
+// Stats exposes SUSS-internal measurements for experiments and tests.
+type Stats struct {
+	Rounds            int
+	AcceleratedRounds int // rounds that ran a pacing period (G > 2)
+	MaxG              int
+	GHistory          []int // growth factor measured per round (from round 2)
+	RedBytesPaced     int64
+	CapExits          int // slow-start exits via the growth cap
+	TrainExits        int // immediate ACK-train exits
+	DelayExits        int // delay-condition exits
+}
+
+// Suss is a cc.Controller implementing CUBIC+SUSS.
+type Suss struct {
+	env   cc.Env
+	opt   Options
+	cubic *cubic.Cubic
+
+	minRTT      time.Duration
+	minRTTRound int
+
+	// Round bookkeeping (round numbering follows the paper: round 1 is
+	// the initial-window round).
+	round            int
+	roundStartT      time.Duration
+	roundStartSndNxt int64
+	roundStartCum    int64
+	roundEndSeq      int64
+
+	// Blue-train bookkeeping. blueBudget is S_Bdt for the current
+	// round; prev* capture the previous round at the transition.
+	blueBudget     int64
+	prevBlueBudget int64
+	prevBlueEnd    int64
+	prevCwnd       int64 // cwnd_{i-1} in bytes
+
+	// Per-round measurement state.
+	moRTT      time.Duration
+	rttSamples int
+	dtBat      time.Duration
+	gDecided   bool
+	lastG      int
+
+	// Modified-HyStart state.
+	hyLastAck time.Duration
+	capSet    bool
+	capBytes  int64
+
+	// Pacing-period state.
+	pacingActive bool
+	frozenRound  bool // suppress ACK-driven growth until next round
+	pacingRate   float64
+	gate         time.Duration // earliest-send gate (guard interval)
+	redRemaining int64         // cwnd bytes still to add via ticks
+	tickInterval time.Duration
+	tickTimer    cc.Timer
+	endTimer     cc.Timer
+
+	enabled bool
+	stats   Stats
+}
+
+// New creates a CUBIC+SUSS controller bound to the transport env.
+func New(env cc.Env, opt Options) *Suss {
+	if opt.Kmax <= 0 {
+		opt.Kmax = 1
+	}
+	if opt.AckTrainFrac == 0 {
+		opt.AckTrainFrac = 0.5
+	}
+	if opt.DelayFactor == 0 {
+		opt.DelayFactor = 1.125
+	}
+	copt := opt.Cubic
+	if copt.IW == 0 {
+		copt = cubic.DefaultOptions()
+	}
+	copt.HyStart = false // SUSS runs the modified HyStart itself
+	s := &Suss{
+		env:     env,
+		opt:     opt,
+		cubic:   cubic.New(env, copt),
+		enabled: true,
+		round:   1, // the paper's round 1 is the initial-window burst
+	}
+	s.blueBudget = int64(copt.IW) * int64(env.MSS()) // S_Bdt_1 = iw
+	return s
+}
+
+// Name implements cc.Controller.
+func (s *Suss) Name() string { return "cubic+suss" }
+
+// CwndBytes implements cc.Controller.
+func (s *Suss) CwndBytes() int64 { return s.cubic.CwndBytes() }
+
+// InSlowStart implements cc.Controller.
+func (s *Suss) InSlowStart() bool { return s.cubic.InSlowStart() }
+
+// Cubic returns the wrapped host algorithm.
+func (s *Suss) Cubic() *cubic.Cubic { return s.cubic }
+
+// Stats returns a copy of the SUSS counters.
+func (s *Suss) Stats() Stats { return s.stats }
+
+// LastG returns the growth factor measured for the most recent
+// completed decision (2 when SUSS declined to accelerate).
+func (s *Suss) LastG() int { return s.lastG }
+
+// MinRTT returns the connection minimum RTT SUSS has observed.
+func (s *Suss) MinRTT() time.Duration { return s.minRTT }
+
+// PacingActive reports whether a pacing period is in progress.
+func (s *Suss) PacingActive() bool { return s.pacingActive }
+
+// PacingRate implements cc.Controller.
+func (s *Suss) PacingRate() float64 {
+	if s.pacingActive {
+		return s.pacingRate
+	}
+	if s.opt.PaceEverything && s.cubic.InSlowStart() && s.minRTT > 0 {
+		return float64(s.cubic.CwndBytes()*8) / s.minRTT.Seconds()
+	}
+	return s.cubic.PacingRate()
+}
+
+// EarliestSend implements tcp.EarliestSender: during the guard
+// interval no packet may leave.
+func (s *Suss) EarliestSend(now time.Duration) time.Duration {
+	if s.pacingActive && now < s.gate {
+		return s.gate
+	}
+	return 0
+}
+
+// OnPacketSent implements cc.Controller.
+func (s *Suss) OnPacketSent(now time.Duration, size int, seq int64, retrans bool) {
+	s.cubic.OnPacketSent(now, size, seq, retrans)
+}
+
+// OnAck implements cc.Controller.
+func (s *Suss) OnAck(ev cc.AckEvent) {
+	if ev.RTT > 0 {
+		if s.minRTT == 0 || ev.RTT < s.minRTT {
+			s.minRTT = ev.RTT
+			s.minRTTRound = s.round
+		}
+		if s.moRTT == 0 || ev.RTT < s.moRTT {
+			s.moRTT = ev.RTT
+		}
+		s.rttSamples++
+	}
+
+	// Round boundary: strictly after the round-end sequence (Linux
+	// after() semantics). The ACK carrying exactly roundEndSeq is the
+	// round's last blue ACK — it must run the G decision below, not
+	// roll the round.
+	if ev.CumAck > s.roundEndSeq {
+		s.startRound(ev)
+	}
+
+	// Window accounting. ACK-driven growth is frozen for the remainder
+	// of a round once the pacing period has been scheduled: the red
+	// window arrives via pacing ticks instead (Fig. 6 semantics).
+	if s.frozenRound && s.cubic.InSlowStart() && !ev.InRecovery {
+		s.cubic.TrackRoundOnly(ev)
+	} else {
+		s.cubic.OnAck(ev)
+	}
+
+	if s.enabled && s.cubic.InSlowStart() {
+		s.modifiedHyStart(ev)
+		s.maybeDecideG(ev)
+		s.checkCap()
+	}
+	if !s.cubic.InSlowStart() && s.enabled {
+		s.disable(false)
+	}
+}
+
+// startRound rolls the per-round bookkeeping at the first ACK of a new
+// round (the ACK of the first packet sent in the previous round).
+func (s *Suss) startRound(ev cc.AckEvent) {
+	// Capture the ending round's state before overwriting.
+	s.prevBlueBudget = s.blueBudget
+	s.prevBlueEnd = s.roundStartSndNxt + s.blueBudget
+	s.prevCwnd = s.cubic.CwndBytes() // cwnd_{i-1}: before this ACK's growth
+
+	s.round++
+	s.stats.Rounds = s.round
+	s.roundStartT = ev.Now
+	s.roundStartSndNxt = ev.SndNxt
+	s.roundStartCum = ev.CumAck
+	s.roundEndSeq = ev.SndNxt
+	s.blueBudget = 2 * s.prevBlueBudget
+
+	s.moRTT = ev.RTT // may be 0; updated by OnAck above for this event
+	s.rttSamples = 0
+	if ev.RTT > 0 {
+		s.rttSamples = 1
+	}
+	s.dtBat = 0
+	s.gDecided = false
+	s.hyLastAck = ev.Now
+	s.frozenRound = false
+	// Any pacing from the previous round must be over; clear defensively.
+	s.stopPacing()
+}
+
+// maybeDecideG measures ΔtBat at the last blue ACK and runs
+// Algorithm 1 (Section 3 semantics: granting k future rounds requires
+// Δt_at ≤ minRTT/2^(k+1), Eq. 17, and the moRTT extrapolation of
+// Eq. 19). Note the paper's Appendix A pseudo-code tests the bound at
+// the pre-increment k, which for kmax=1 would grant G=4 from the
+// weaker Eq. 2 bound; we follow the body text (Eq. 6), which requires
+// minRTT/4 for quadrupling. See DESIGN.md.
+func (s *Suss) maybeDecideG(ev cc.AckEvent) {
+	if s.gDecided || s.round < 2 || s.minRTT == 0 {
+		return
+	}
+	if ev.CumAck < s.prevBlueEnd {
+		return
+	}
+	s.gDecided = true
+	s.dtBat = ev.Now - s.roundStartT
+	if s.prevBlueBudget <= 0 || s.prevCwnd <= 0 {
+		return
+	}
+	// Eq. 9: scale the blue ACK-train length to the full data train.
+	ratio := float64(s.prevCwnd) / float64(s.prevBlueBudget)
+	if ratio < 1 {
+		ratio = 1
+	}
+	dtAt := time.Duration(float64(s.dtBat) * ratio)
+
+	k := s.computeK(dtAt)
+	g := 1 << (k + 1)
+	s.lastG = g
+	s.stats.GHistory = append(s.stats.GHistory, g)
+	if g > s.stats.MaxG {
+		s.stats.MaxG = g
+	}
+	if g > 2 {
+		s.beginPacing(g)
+	}
+}
+
+// computeK returns the largest k ≤ Kmax for which Conditions 1 and 2
+// hold for round i+k.
+func (s *Suss) computeK(dtAt time.Duration) int {
+	r := s.round - s.minRTTRound
+	best := 0
+	for k := 1; k <= s.opt.Kmax; k++ {
+		// Condition 1 (Eq. 17): ΔtAt ≤ AckTrainFrac·minRTT / 2^k.
+		bound := time.Duration(float64(s.minRTT) * s.opt.AckTrainFrac / float64(int64(1)<<k))
+		if dtAt > bound {
+			break
+		}
+		// Condition 2 (Eq. 19): projected moRTT stays under the delay
+		// threshold. r == 0 means minRTT was lowered this round: no
+		// queue growth to extrapolate.
+		if r > 0 && s.moRTT > 0 {
+			projected := s.moRTT + time.Duration(float64(k)*float64(s.moRTT-s.minRTT)/float64(r))
+			if float64(projected) > s.opt.DelayFactor*float64(s.minRTT) {
+				break
+			}
+		}
+		best = k
+	}
+	return best
+}
+
+// beginPacing schedules the guard interval, the paced release of the
+// red window, and the end of the pacing period.
+func (s *Suss) beginPacing(g int) {
+	now := s.env.Now()
+	target := int64(g) * s.prevCwnd // cwnd_i (Eq. 1)
+	sBdt := s.blueBudget            // S_Bdt_i
+	sRdt := target - sBdt           // S_Rdt_i (Eq. 10 equivalent)
+	redGrowth := target - s.cubic.CwndBytes()
+	if sRdt <= 0 || redGrowth <= 0 {
+		return
+	}
+	s.stats.AcceleratedRounds++
+
+	if s.opt.NoPacing {
+		// Clocking-only ablation: grant the red window at once; the
+		// freed + grown window leaves as a burst.
+		s.cubic.AddCwndSegments(float64(redGrowth) / float64(s.env.MSS()))
+		s.frozenRound = true
+		s.stats.RedBytesPaced += redGrowth
+		s.env.Kick()
+		return
+	}
+
+	// Eq. 12 guard; Eq. 11 rate; pacing window length S_Rdt/cwnd·minRTT.
+	guard := time.Duration(float64(s.minRTT)*float64(sBdt)/(2*float64(target))) - s.dtBat/2
+	if guard < 0 || s.opt.NoGuard {
+		guard = 0
+	}
+	dur := time.Duration(float64(s.minRTT) * float64(sRdt) / float64(target))
+	s.pacingRate = float64(target*8) / s.minRTT.Seconds()
+	s.redRemaining = redGrowth
+	mss := int64(s.env.MSS())
+	s.tickInterval = time.Duration(float64(s.minRTT) * float64(mss) / float64(target))
+	s.frozenRound = true
+
+	start := now + guard
+	// Activate the gate in a follow-up event so the clocked sends
+	// triggered by this same ACK are not caught by it.
+	s.env.Schedule(0, func() {
+		if s.frozenRound {
+			s.pacingActive = true
+			s.gate = start
+		}
+	})
+	s.tickTimer = s.env.Schedule(guard, s.tick)
+	s.endTimer = s.env.Schedule(guard+dur, func() { s.stopPacing() })
+}
+
+// tick releases one MSS of red window and reschedules itself until the
+// round's red growth is exhausted.
+func (s *Suss) tick() {
+	if !s.frozenRound || s.redRemaining <= 0 {
+		return
+	}
+	mss := int64(s.env.MSS())
+	add := mss
+	if add > s.redRemaining {
+		add = s.redRemaining
+	}
+	s.redRemaining -= add
+	s.stats.RedBytesPaced += add
+	s.cubic.AddCwndSegments(float64(add) / float64(mss))
+	s.checkCap()
+	s.env.Kick()
+	if s.redRemaining > 0 && s.frozenRound {
+		s.tickTimer = s.env.Schedule(s.tickInterval, s.tick)
+	}
+}
+
+// stopPacing ends the pacing period (normally or on abort), discarding
+// any un-granted red window so an interrupted round leaves no
+// overhang.
+func (s *Suss) stopPacing() {
+	s.pacingActive = false
+	s.pacingRate = 0
+	s.gate = 0
+	s.redRemaining = 0
+	if s.tickTimer != nil {
+		s.tickTimer.Stop()
+	}
+	if s.endTimer != nil {
+		s.endTimer.Stop()
+	}
+}
+
+// modifiedHyStart implements the paper's Fig. 8: the two HyStart
+// detectors evaluated on blue ACKs, with elapsed time scaled by the
+// data-train/blue ratio and a growth cap instead of an immediate stop
+// when the estimate was scaled.
+func (s *Suss) modifiedHyStart(ev cc.AckEvent) {
+	const hystartLowWindow = 16
+	const ackDelta = 2 * time.Millisecond
+	if s.minRTT == 0 || s.cubic.CwndSegments() < hystartLowWindow {
+		return
+	}
+	// Only blue ACKs represent the unmodified path condition.
+	isBlue := ev.CumAck <= s.prevBlueEnd
+	now := ev.Now
+
+	gap := now - s.hyLastAck
+	s.hyLastAck = now
+	if isBlue && gap <= ackDelta {
+		ratio := 1.0
+		if s.prevBlueBudget > 0 && s.prevCwnd > s.prevBlueBudget {
+			ratio = float64(s.prevCwnd) / float64(s.prevBlueBudget)
+		}
+		elapsed := now - s.roundStartT
+		est := time.Duration(float64(elapsed) * ratio)
+		if float64(est) > s.opt.AckTrainFrac*float64(s.minRTT) {
+			if ratio > 1 {
+				// The estimate was scaled, so the signal fired early in
+				// the round (the blue train is compressed relative to
+				// the full data train). Exiting here would stop well
+				// below where unmodified HyStart stops — Fig. 9 shows
+				// both variants ending exponential growth at almost the
+				// same cwnd. The cap postpones the stop to the
+				// HyStart-equivalent window: the round-start cwnd plus
+				// what the measured delivery rate would have clocked
+				// out by the time the unscaled elapsed time crossed the
+				// threshold (Fig. 8's "cap" branch).
+				if !s.capSet {
+					s.capSet = true
+					acked := ev.CumAck - s.roundStartCum
+					var extra int64
+					if elapsed > 0 && acked > 0 {
+						impliedRate := float64(acked) / elapsed.Seconds() // bytes/sec
+						extra = int64(impliedRate * s.opt.AckTrainFrac * s.minRTT.Seconds())
+					}
+					s.capBytes = s.prevCwnd + extra
+					s.stats.CapExits++
+				}
+			} else {
+				// Unscaled signal: behave exactly like HyStart.
+				s.stats.TrainExits++
+				s.exitSlowStart()
+				return
+			}
+		}
+	}
+
+	// Condition 2: the round's minimum observed RTT against the delay
+	// threshold, after enough samples.
+	const minSamples = 8
+	if isBlue && s.rttSamples >= minSamples && s.moRTT > 0 {
+		if float64(s.moRTT) > s.opt.DelayFactor*float64(s.minRTT) {
+			s.stats.DelayExits++
+			s.exitSlowStart()
+		}
+	}
+}
+
+// checkCap enforces the postponed stop installed by modifiedHyStart.
+func (s *Suss) checkCap() {
+	if s.capSet && s.cubic.CwndBytes() >= s.capBytes {
+		s.exitSlowStart()
+	}
+}
+
+func (s *Suss) exitSlowStart() {
+	s.cubic.ExitSlowStart()
+	s.disable(true)
+}
+
+// disable turns SUSS off for the rest of the connection (slow start is
+// over; CUBIC congestion avoidance takes it from here).
+func (s *Suss) disable(abortPacing bool) {
+	s.enabled = false
+	if abortPacing || s.pacingActive || s.frozenRound {
+		s.stopPacing()
+		s.frozenRound = false
+	}
+}
+
+// OnLoss implements cc.Controller: abort any pacing period (the
+// un-granted red window is discarded) and hand the event to CUBIC.
+func (s *Suss) OnLoss(ev cc.LossEvent) {
+	s.disable(true)
+	s.cubic.OnLoss(ev)
+}
+
+// OnRTO implements cc.Controller.
+func (s *Suss) OnRTO(now time.Duration) {
+	s.disable(true)
+	s.cubic.OnRTO(now)
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *Suss) String() string {
+	return fmt.Sprintf("suss{round:%d G:%d cwnd:%dB pacing:%v}", s.round, s.lastG, s.CwndBytes(), s.pacingActive)
+}

@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"suss/internal/core"
+	"suss/internal/netsim"
+	"suss/internal/tcp"
+)
+
+// TestWirePacingPattern verifies the Fig. 5/6 transmission pattern on
+// the wire for the first accelerated round: a clocked burst (blue), a
+// guard silence, then red packets paced at ≈ cwnd_i/minRTT.
+func TestWirePacingPattern(t *testing.T) {
+	sim := netsim.NewSimulator()
+	owd := 50 * time.Millisecond // minRTT 100 ms
+	rate := 1e8
+	p := netsim.NewPath(sim, netsim.PathSpec{Forward: []netsim.LinkConfig{
+		{Name: "core", Rate: 1e9, Delay: owd / 2, QueueBytes: 64 << 20},
+		{Name: "bneck", Rate: rate, Delay: owd - owd/2, QueueBytes: 1 << 20},
+	}})
+	cfg := tcp.DefaultConfig()
+	f := tcp.NewFlow(sim, cfg, 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), 4<<20, nil)
+	s := core.New(f.Sender, core.DefaultOptions())
+	f.Sender.SetController(s)
+
+	var sendTimes []time.Duration
+	f.Receiver.OnData = func(now time.Duration, pkt *netsim.Packet) {
+		sendTimes = append(sendTimes, pkt.SentAt)
+	}
+	f.StartAt(sim, 0)
+	sim.Run(10 * time.Minute)
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	if s.Stats().AcceleratedRounds == 0 {
+		t.Fatal("no accelerated rounds")
+	}
+
+	// Paper round 2 (first acceleration, G=4 from iw=10):
+	//   clocked sends: 20 segments shortly after t=minRTT (the IW ACKs)
+	//   red sends: 20 segments paced at cwnd_2/minRTT = 40segs/100ms,
+	//   i.e. one per 2.5 ms, starting after the guard.
+	minRTT := 100 * time.Millisecond
+	roundStart := minRTT // first IW ack arrives ≈ here
+	var blue, red []time.Duration
+	for _, st := range sendTimes {
+		if st < roundStart || st > roundStart+minRTT {
+			continue
+		}
+		// Blue sends are clocked within the (compressed) IW ACK train —
+		// comfortably inside the first 20 ms of the round.
+		if st < roundStart+20*time.Millisecond {
+			blue = append(blue, st)
+		} else {
+			red = append(red, st)
+		}
+	}
+	if len(blue) < 15 || len(blue) > 25 {
+		t.Fatalf("blue sends in round 2 = %d, want ≈20", len(blue))
+	}
+	if len(red) < 15 || len(red) > 25 {
+		t.Fatalf("red sends in round 2 = %d, want ≈20", len(red))
+	}
+
+	// Guard: a real silence between the last blue and first red send.
+	guard := red[0] - blue[len(blue)-1]
+	if guard < 5*time.Millisecond {
+		t.Errorf("guard interval %v, want ≥5ms (Eq. 12 gives ~45ms here)", guard)
+	}
+
+	// Red spacing ≈ minRTT / cwnd_2 = 100ms/40 = 2.5 ms per segment.
+	wantGap := 2500 * time.Microsecond
+	for i := 1; i < len(red); i++ {
+		gap := red[i] - red[i-1]
+		if gap < wantGap*8/10 {
+			t.Fatalf("red gap %v at %d, want ≈%v (pacing broken)", gap, i, wantGap)
+		}
+	}
+
+	// And the pacing window must fit inside the round: last red send
+	// before the round ends (Lemma 1's guarantee).
+	if last := red[len(red)-1]; last > roundStart+minRTT {
+		t.Errorf("red sends spilled past the round: %v", last)
+	}
+}
+
+// TestWireCwndRoundTargets verifies cwnd_i = G_i × cwnd_{i-1} exactly
+// at each round boundary on a clean deterministic path.
+func TestWireCwndRoundTargets(t *testing.T) {
+	sim := netsim.NewSimulator()
+	p := netsim.NewPath(sim, netsim.PathSpec{Forward: []netsim.LinkConfig{
+		{Name: "core", Rate: 1e9, Delay: 25 * time.Millisecond, QueueBytes: 64 << 20},
+		{Name: "bneck", Rate: 2e8, Delay: 25 * time.Millisecond, QueueBytes: 8 << 20},
+	}})
+	cfg := tcp.DefaultConfig()
+	f := tcp.NewFlow(sim, cfg, 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), 8<<20, nil)
+	s := core.New(f.Sender, core.DefaultOptions())
+	f.Sender.SetController(s)
+	f.StartAt(sim, 0)
+
+	// Sample cwnd just before each round boundary (multiples of minRTT).
+	minRTT := 100 * time.Millisecond
+	var cwndAtRoundEnd []int64
+	for r := 1; r <= 4; r++ {
+		sim.Run(time.Duration(r)*minRTT + 90*time.Millisecond)
+		cwndAtRoundEnd = append(cwndAtRoundEnd, s.CwndBytes()/int64(cfg.MSS))
+	}
+	sim.Run(10 * time.Minute)
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	// iw=10; with G=4 from round 2: 40, 160, 640, 2560 (while in SS).
+	want := []int64{40, 160, 640, 2560}
+	for i, w := range want {
+		got := cwndAtRoundEnd[i]
+		if !s.InSlowStart() && i >= 2 {
+			break // exit may legitimately cap the later rounds
+		}
+		if got != w {
+			t.Errorf("cwnd at end of round %d = %d segs, want %d (G=4 cascade)", i+2, got, w)
+		}
+	}
+}

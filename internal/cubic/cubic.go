@@ -1,0 +1,332 @@
+// Package cubic implements the CUBIC congestion-control algorithm
+// (RFC 9438, Linux-style constants) together with the HyStart
+// slow-start exit heuristic (Ha & Rhee, "Taming the elephants"), which
+// is the host algorithm SUSS extends and the paper's "CUBIC, SUSS off"
+// baseline.
+package cubic
+
+import (
+	"math"
+	"time"
+
+	"suss/internal/cc"
+)
+
+// Options configures CUBIC.
+type Options struct {
+	// IW is the initial window in segments (default 10, RFC 6928).
+	IW int
+	// C is the cubic scaling constant (default 0.4).
+	C float64
+	// Beta is the multiplicative decrease factor (default 0.7).
+	Beta float64
+	// HyStart enables the built-in HyStart slow-start exit. SUSS
+	// disables it and runs its modified variant instead.
+	HyStart bool
+	// HyStartPP selects HyStart++ (RFC 9406) instead of classic
+	// HyStart: delay signals send slow start into a conservative phase
+	// rather than ending it outright. Mutually exclusive with HyStart
+	// (HyStartPP wins if both are set).
+	HyStartPP bool
+	// FastConvergence enables Wmax shrinking when losses cluster.
+	FastConvergence bool
+	// TCPFriendly enables the Reno-tracking lower bound region.
+	TCPFriendly bool
+}
+
+// DefaultOptions mirrors the Linux defaults.
+func DefaultOptions() Options {
+	return Options{IW: 10, C: 0.4, Beta: 0.7, HyStart: true, FastConvergence: true, TCPFriendly: true}
+}
+
+// HyStart constants (Linux tcp_cubic.c).
+const (
+	hystartLowWindow      = 16                   // segments before HyStart engages
+	hystartAckDelta       = 2 * time.Millisecond // ACK-train spacing
+	hystartDelayMinThresh = 4 * time.Millisecond
+	hystartDelayMaxThresh = 16 * time.Millisecond
+	hystartMinSamples     = 8
+)
+
+// Cubic is a cc.Controller. Windows are tracked in segments
+// (float64, like the kernel's fixed-point cwnd_cnt accounting) and
+// exposed in bytes.
+type Cubic struct {
+	env cc.Env
+	opt Options
+
+	cwnd     float64 // segments
+	ssthresh float64 // segments
+
+	// Cubic epoch state.
+	wMax       float64
+	k          float64
+	epochStart time.Duration
+	hasEpoch   bool
+	ackCount   float64 // acked segments this epoch, for the Reno estimate
+	wEst       float64
+
+	minRTT cc.MinRTTTracker
+	srtt   time.Duration
+
+	// Round tracking (slow-start rounds, for HyStart).
+	roundEndSeq int64
+	roundStart  time.Duration
+	roundNum    int
+
+	// HyStart per-round state.
+	hyLastAck   time.Duration
+	hyCurrRTT   time.Duration
+	hySampleCnt int
+	exited      bool // slow start exited by HyStart (ssthresh set)
+
+	// HyStart++ state (nil unless Options.HyStartPP).
+	hspp *hystartPP
+}
+
+// New creates a CUBIC controller bound to the transport environment.
+func New(env cc.Env, opt Options) *Cubic {
+	if opt.IW <= 0 {
+		opt.IW = 10
+	}
+	if opt.C == 0 {
+		opt.C = 0.4
+	}
+	if opt.Beta == 0 {
+		opt.Beta = 0.7
+	}
+	c := &Cubic{
+		env:      env,
+		opt:      opt,
+		cwnd:     float64(opt.IW),
+		ssthresh: math.MaxFloat64 / 4,
+	}
+	if opt.HyStartPP {
+		c.opt.HyStart = false
+		c.hspp = &hystartPP{}
+	}
+	return c
+}
+
+// Name implements cc.Controller.
+func (c *Cubic) Name() string { return "cubic" }
+
+// CwndBytes implements cc.Controller.
+func (c *Cubic) CwndBytes() int64 {
+	return int64(c.cwnd * float64(c.env.MSS()))
+}
+
+// CwndSegments returns the window in segments.
+func (c *Cubic) CwndSegments() float64 { return c.cwnd }
+
+// SetCwndSegments overrides the window (used by tests and by SUSS when
+// capping growth).
+func (c *Cubic) SetCwndSegments(w float64) {
+	if w < 2 {
+		w = 2
+	}
+	c.cwnd = w
+}
+
+// AddCwndSegments opens the window by n segments (SUSS red-packet
+// increments arrive through here).
+func (c *Cubic) AddCwndSegments(n float64) { c.cwnd += n }
+
+// SsthreshSegments returns the current slow-start threshold.
+func (c *Cubic) SsthreshSegments() float64 { return c.ssthresh }
+
+// InSlowStart implements cc.Controller.
+func (c *Cubic) InSlowStart() bool { return c.cwnd < c.ssthresh }
+
+// ExitSlowStart pins ssthresh to the current window, ending
+// exponential growth (HyStart's action; SUSS's modified HyStart calls
+// this too).
+func (c *Cubic) ExitSlowStart() {
+	if c.InSlowStart() {
+		c.ssthresh = c.cwnd
+		c.exited = true
+	}
+}
+
+// ExitedByHyStart reports whether slow start ended via HyStart rather
+// than loss.
+func (c *Cubic) ExitedByHyStart() bool { return c.exited }
+
+// MinRTT returns the connection minimum RTT CUBIC has observed.
+func (c *Cubic) MinRTT() time.Duration { return c.minRTT.Get() }
+
+// RoundNum returns the slow-start round counter (increments when the
+// cumulative ACK passes the round's end sequence).
+func (c *Cubic) RoundNum() int { return c.roundNum }
+
+// RoundStart returns when the current round began.
+func (c *Cubic) RoundStart() time.Duration { return c.roundStart }
+
+// PacingRate implements cc.Controller: CUBIC is ACK-clocked.
+func (c *Cubic) PacingRate() float64 { return 0 }
+
+// OnPacketSent implements cc.Controller.
+func (c *Cubic) OnPacketSent(now time.Duration, size int, seq int64, retrans bool) {}
+
+// OnAck implements cc.Controller.
+func (c *Cubic) OnAck(ev cc.AckEvent) {
+	if ev.RTT > 0 {
+		c.minRTT.Update(ev.RTT, ev.Now)
+		c.srtt = ev.RTT
+	}
+	prevRound := c.roundNum
+	c.trackRound(ev)
+	if ev.InRecovery {
+		return
+	}
+	ackedSegs := float64(ev.AckedBytes) / float64(c.env.MSS())
+	if c.InSlowStart() {
+		if c.hspp != nil {
+			c.cwnd += ackedSegs / c.hspp.growthDivisor()
+			c.hystartPPUpdate(ev, c.roundNum != prevRound)
+		} else {
+			c.cwnd += ackedSegs
+			if c.opt.HyStart {
+				c.hystartUpdate(ev)
+			}
+		}
+		return
+	}
+	c.congestionAvoidance(ev.Now, ackedSegs)
+}
+
+// TrackRoundOnly advances round and RTT bookkeeping without any
+// window growth. SUSS calls this instead of OnAck while it freezes
+// ACK-driven growth during a pacing round.
+func (c *Cubic) TrackRoundOnly(ev cc.AckEvent) {
+	if ev.RTT > 0 {
+		c.minRTT.Update(ev.RTT, ev.Now)
+		c.srtt = ev.RTT
+	}
+	c.trackRound(ev)
+}
+
+// trackRound advances the slow-start round bookkeeping. The boundary
+// is strictly-after (Linux after() semantics): the ACK carrying
+// exactly the end sequence still belongs to the ending round.
+func (c *Cubic) trackRound(ev cc.AckEvent) {
+	if ev.CumAck > c.roundEndSeq || c.roundNum == 0 {
+		c.roundEndSeq = ev.SndNxt
+		c.roundStart = ev.Now
+		c.roundNum++
+		c.hyLastAck = ev.Now
+		c.hyCurrRTT = 0
+		c.hySampleCnt = 0
+	}
+}
+
+// hystartUpdate runs the two HyStart exit detectors.
+func (c *Cubic) hystartUpdate(ev cc.AckEvent) {
+	minRTT := c.minRTT.Get()
+	if c.cwnd < hystartLowWindow || minRTT == 0 {
+		return
+	}
+	now := ev.Now
+
+	// (1) ACK-train detection: closely-spaced ACKs whose span from the
+	// round start exceeds minRTT/2 mean the data train is as long as
+	// half the path — time to stop doubling. The spacing test uses the
+	// gap to the previous ACK (rather than Linux's last-qualifying-ACK
+	// timestamp, which one jittery gap poisons for the whole round).
+	gap := now - c.hyLastAck
+	c.hyLastAck = now
+	if gap <= hystartAckDelta {
+		if now-c.roundStart > minRTT/2 {
+			c.ExitSlowStart()
+			return
+		}
+	}
+
+	// (2) Delay detection: the minimum RTT over the first 8 samples of
+	// the round exceeding minRTT by ~minRTT/8 signals queue build-up.
+	if ev.RTT > 0 && c.hySampleCnt < hystartMinSamples {
+		if c.hyCurrRTT == 0 || ev.RTT < c.hyCurrRTT {
+			c.hyCurrRTT = ev.RTT
+		}
+		c.hySampleCnt++
+		if c.hySampleCnt >= hystartMinSamples {
+			thresh := minRTT / 8
+			if thresh < hystartDelayMinThresh {
+				thresh = hystartDelayMinThresh
+			}
+			if thresh > hystartDelayMaxThresh {
+				thresh = hystartDelayMaxThresh
+			}
+			if c.hyCurrRTT >= minRTT+thresh {
+				c.ExitSlowStart()
+			}
+		}
+	}
+}
+
+// congestionAvoidance applies the RFC 9438 window update.
+func (c *Cubic) congestionAvoidance(now time.Duration, ackedSegs float64) {
+	if !c.hasEpoch {
+		c.epochStart = now
+		c.hasEpoch = true
+		if c.cwnd >= c.wMax {
+			// Exiting slow start above the last Wmax: concave-free
+			// epoch anchored at the current window.
+			c.wMax = c.cwnd
+			c.k = 0
+		} else {
+			c.k = math.Cbrt(c.wMax * (1 - c.opt.Beta) / c.opt.C)
+		}
+		c.ackCount = 0
+		c.wEst = c.cwnd
+	}
+	c.ackCount += ackedSegs
+
+	t := (now - c.epochStart).Seconds()
+	rtt := c.srtt.Seconds()
+	target := c.wMax + c.opt.C*math.Pow(t+rtt-c.k, 3)
+
+	var incPerAck float64
+	if target > c.cwnd {
+		incPerAck = (target - c.cwnd) / c.cwnd
+	} else {
+		incPerAck = 0.01 / c.cwnd // minimal probing, as in the kernel
+	}
+
+	if c.opt.TCPFriendly {
+		// Reno-equivalent estimate: W_est grows by ~0.5·3(1-β)/(1+β)
+		// segments per window of ACKs (RFC 9438 §4.3).
+		alpha := 3 * (1 - c.opt.Beta) / (1 + c.opt.Beta)
+		c.wEst += alpha * ackedSegs / c.cwnd
+		if c.wEst > c.cwnd+incPerAck*ackedSegs {
+			c.cwnd = c.wEst
+			return
+		}
+	}
+	c.cwnd += incPerAck * ackedSegs
+}
+
+// OnLoss implements cc.Controller: multiplicative decrease and a new
+// cubic epoch.
+func (c *Cubic) OnLoss(ev cc.LossEvent) {
+	c.hasEpoch = false
+	if c.opt.FastConvergence && c.cwnd < c.wMax {
+		c.wMax = c.cwnd * (2 - c.opt.Beta) / 2
+	} else {
+		c.wMax = c.cwnd
+	}
+	c.cwnd *= c.opt.Beta
+	if c.cwnd < 2 {
+		c.cwnd = 2
+	}
+	c.ssthresh = c.cwnd
+}
+
+// OnRTO implements cc.Controller: collapse to one segment and slow
+// start toward half the pre-timeout flight.
+func (c *Cubic) OnRTO(now time.Duration) {
+	c.hasEpoch = false
+	c.wMax = c.cwnd
+	c.ssthresh = math.Max(c.cwnd*c.opt.Beta, 2)
+	c.cwnd = 1
+}

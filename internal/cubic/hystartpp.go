@@ -1,0 +1,117 @@
+package cubic
+
+import (
+	"time"
+
+	"suss/internal/cc"
+)
+
+// hystartPP implements HyStart++ (RFC 9406), the slow-start exit
+// heuristic deployed in Windows and newer Linux kernels and cited by
+// the paper as the modern alternative to HyStart. Instead of exiting
+// slow start outright on a delay signal, it enters Conservative Slow
+// Start (CSS) — exponential growth slowed by 4× — and either confirms
+// the signal after five CSS rounds (exit to congestion avoidance) or
+// detects it was spurious (RTT fell back below the baseline) and
+// resumes full slow start.
+type hystartPP struct {
+	// Per-round RTT measurement.
+	lastRoundMinRTT time.Duration
+	currRoundMinRTT time.Duration
+	samples         int
+
+	// CSS state.
+	inCSS          bool
+	cssBaselineRTT time.Duration
+	cssRounds      int
+	cssStartCwnd   float64
+}
+
+// RFC 9406 constants.
+const (
+	hsppMinSamples      = 8
+	hsppMinRTTThresh    = 4 * time.Millisecond
+	hsppMaxRTTThresh    = 16 * time.Millisecond
+	hsppDivisor         = 8 // RTT divisor for the threshold
+	hsppCSSGrowthDiv    = 4
+	hsppCSSRounds       = 5
+	hsppMinCwndSegments = 16 // conservative: same low window as HyStart
+)
+
+// roundStart rolls the per-round state.
+func (h *hystartPP) roundStart() {
+	h.lastRoundMinRTT = h.currRoundMinRTT
+	h.currRoundMinRTT = 0
+	h.samples = 0
+	if h.inCSS {
+		h.cssRounds++
+	}
+}
+
+// sample folds in one RTT observation, returning true when CSS decides
+// slow start is over.
+func (h *hystartPP) sample(rtt time.Duration, cwndSegments float64) (exitSlowStart bool) {
+	if rtt <= 0 {
+		return false
+	}
+	if h.currRoundMinRTT == 0 || rtt < h.currRoundMinRTT {
+		h.currRoundMinRTT = rtt
+	}
+	h.samples++
+	if cwndSegments < hsppMinCwndSegments {
+		return false
+	}
+	if h.samples < hsppMinSamples || h.lastRoundMinRTT == 0 {
+		return false
+	}
+
+	if !h.inCSS {
+		// RFC 9406 §4.2: RttThresh = clamp(lastRoundMinRTT/8, 4ms, 16ms).
+		thresh := h.lastRoundMinRTT / hsppDivisor
+		if thresh < hsppMinRTTThresh {
+			thresh = hsppMinRTTThresh
+		}
+		if thresh > hsppMaxRTTThresh {
+			thresh = hsppMaxRTTThresh
+		}
+		if h.currRoundMinRTT >= h.lastRoundMinRTT+thresh {
+			h.inCSS = true
+			h.cssBaselineRTT = h.lastRoundMinRTT
+			h.cssRounds = 0
+			h.cssStartCwnd = cwndSegments
+		}
+		return false
+	}
+
+	// In CSS: a fall back below the baseline means the delay increase
+	// was spurious — resume full slow start.
+	if h.currRoundMinRTT < h.cssBaselineRTT {
+		h.inCSS = false
+		return false
+	}
+	return h.cssRounds >= hsppCSSRounds
+}
+
+// growthDivisor returns the current slow-start growth divisor (1
+// normally, 4 in CSS).
+func (h *hystartPP) growthDivisor() float64 {
+	if h.inCSS {
+		return hsppCSSGrowthDiv
+	}
+	return 1
+}
+
+// InCSS reports whether HyStart++ is in its conservative phase
+// (exposed for traces and tests).
+func (c *Cubic) InCSS() bool { return c.hspp != nil && c.hspp.inCSS }
+
+// hystartPPUpdate drives HyStart++ from the ACK stream; it assumes the
+// caller already applied the (divided) window growth.
+func (c *Cubic) hystartPPUpdate(ev cc.AckEvent, newRound bool) {
+	if newRound {
+		c.hspp.roundStart()
+	}
+	if c.hspp.sample(ev.RTT, c.cwnd) {
+		c.ExitSlowStart()
+	}
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"suss/internal/core"
+	"suss/internal/netem"
+	"suss/internal/netsim"
+	"suss/internal/scenarios"
+	"suss/internal/stats"
+	"suss/internal/tcp"
+)
+
+// AblationResult compares SUSS variants on one path, isolating the
+// design choices §4 argues for (clocking+pacing+guard) and App. A's
+// kmax generalization.
+type AblationResult struct {
+	Name string
+	// Variants and their mean FCT (s), mean loss rate, and peak
+	// bottleneck queue (bytes).
+	Variants []string
+	FCT      []float64
+	Loss     []float64
+	PeakQ    []int
+}
+
+// sussVariant runs one configured SUSS download and reports FCT, loss
+// and peak queue.
+func sussVariant(sc scenarios.Scenario, opt core.Options, size int64, iters int) (fct, loss float64, peakQ int) {
+	var fcts, losses []float64
+	for it := 0; it < iters; it++ {
+		run := sc
+		run.Seed = sc.Seed*1000003 + int64(it)*7919 + 1
+		sim := netsim.NewSimulator()
+		p, _ := run.Build(sim)
+		f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
+		f.Sender.SetController(core.New(f.Sender, opt))
+		f.StartAt(sim, 0)
+		sim.Run(20 * time.Minute)
+		if !f.Done() {
+			panic("experiments: ablation flow did not complete")
+		}
+		last := p.Fwd[len(p.Fwd)-1]
+		st := last.Stats()
+		fcts = append(fcts, f.FCT().Seconds())
+		offered := st.EnqueuedPackets + st.DroppedPackets
+		if offered > 0 {
+			losses = append(losses, float64(st.DroppedPackets+st.ErasedPackets)/float64(offered))
+		}
+		if st.MaxQueueBytes > peakQ {
+			peakQ = st.MaxQueueBytes
+		}
+	}
+	return stats.Mean(fcts), stats.Mean(losses), peakQ
+}
+
+// RunAblationMechanisms compares full SUSS against the clocking-only
+// (no pacing period) and pacing-only (everything paced) ablations plus
+// the no-guard variant, on a large-BDP 5G path.
+func RunAblationMechanisms(size int64, iters int, seed int64) AblationResult {
+	sc := scenarios.New(scenarios.GoogleTokyo, netem.NR5G, seed)
+	sc.LastHop.BufferBDPs = 0.6 // make burst damage visible
+	res := AblationResult{Name: "mechanisms"}
+	cases := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"full", core.DefaultOptions()},
+		{"no-pacing (burst reds)", func() core.Options { o := core.DefaultOptions(); o.NoPacing = true; return o }()},
+		{"pace-everything", func() core.Options { o := core.DefaultOptions(); o.PaceEverything = true; return o }()},
+		{"no-guard", func() core.Options { o := core.DefaultOptions(); o.NoGuard = true; return o }()},
+	}
+	for _, c := range cases {
+		fct, loss, q := sussVariant(sc, c.opt, size, iters)
+		res.Variants = append(res.Variants, c.name)
+		res.FCT = append(res.FCT, fct)
+		res.Loss = append(res.Loss, loss)
+		res.PeakQ = append(res.PeakQ, q)
+	}
+	return res
+}
+
+// RunAblationKmax sweeps the Appendix-A generalization kmax ∈ {1,2,3}.
+func RunAblationKmax(size int64, iters int, seed int64) AblationResult {
+	sc := scenarios.New(scenarios.GoogleTokyo, netem.Wired, seed)
+	res := AblationResult{Name: "kmax"}
+	for _, k := range []int{1, 2, 3} {
+		opt := core.DefaultOptions()
+		opt.Kmax = k
+		fct, loss, q := sussVariant(sc, opt, size, iters)
+		res.Variants = append(res.Variants, fmt.Sprintf("kmax=%d", k))
+		res.FCT = append(res.FCT, fct)
+		res.Loss = append(res.Loss, loss)
+		res.PeakQ = append(res.PeakQ, q)
+	}
+	return res
+}
+
+// Render prints the comparison.
+func (r AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: %s\n", r.Name)
+	fmt.Fprintf(&b, "  %-24s %10s %10s %12s\n", "variant", "FCT", "loss", "peak queue")
+	for i, v := range r.Variants {
+		fmt.Fprintf(&b, "  %-24s %9.3fs %9.3f%% %11dB\n", v, r.FCT[i], 100*r.Loss[i], r.PeakQ[i])
+	}
+	return b.String()
+}
+
+// BtlBwVariationResult reproduces Appendix B: a bandwidth step on the
+// bottleneck mid-slow-start, with SUSS on and off.
+type BtlBwVariationResult struct {
+	// Step direction: "drop" halves the rate at 1 s, "rise" doubles it.
+	Direction string
+	FCTOff    float64
+	FCTOn     float64
+	LossOff   float64
+	LossOn    float64
+}
+
+// RunBtlBwVariation runs the step experiment.
+func RunBtlBwVariation(direction string, size int64, seed int64) BtlBwVariationResult {
+	res := BtlBwVariationResult{Direction: direction}
+	base, after := 2e8, 1e8
+	if direction == "rise" {
+		base, after = 1e8, 2e8
+	}
+	for variant := 0; variant < 2; variant++ {
+		sim := netsim.NewSimulator()
+		rtt := 150 * time.Millisecond
+		bdp := base / 8 * rtt.Seconds()
+		p := netsim.NewPath(sim, netsim.PathSpec{Forward: []netsim.LinkConfig{
+			{Name: "core", Rate: 1e9, Delay: rtt/2 - 5*time.Millisecond, QueueBytes: 64 << 20},
+			{Name: "bneck", RateModel: netem.Step(base, after, time.Second), Delay: 5 * time.Millisecond, QueueBytes: int(bdp)},
+		}})
+		f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
+		algo := Cubic
+		if variant == 1 {
+			algo = Suss
+		}
+		f.Sender.SetController(NewController(algo, f.Sender))
+		f.StartAt(sim, 0)
+		sim.Run(20 * time.Minute)
+		if !f.Done() {
+			panic("experiments: BtlBw variation flow did not complete")
+		}
+		st := p.Fwd[1].Stats()
+		loss := 0.0
+		if off := st.EnqueuedPackets + st.DroppedPackets; off > 0 {
+			loss = float64(st.DroppedPackets) / float64(off)
+		}
+		if variant == 0 {
+			res.FCTOff, res.LossOff = f.FCT().Seconds(), loss
+		} else {
+			res.FCTOn, res.LossOn = f.FCT().Seconds(), loss
+		}
+	}
+	return res
+}
+
+// Render prints the comparison.
+func (r BtlBwVariationResult) Render() string {
+	return fmt.Sprintf("Appendix B — BtlBw %s at t=1s: off FCT=%.3fs loss=%.3f%%; on FCT=%.3fs loss=%.3f%%\n",
+		r.Direction, r.FCTOff, 100*r.LossOff, r.FCTOn, 100*r.LossOn)
+}
+
+// SlowStartExitResult compares the three slow-start exit strategies —
+// classic HyStart (Linux CUBIC), HyStart++ (RFC 9406), and SUSS's
+// accelerated start with its modified HyStart — on one path.
+type SlowStartExitResult struct {
+	Scenario string
+	Variants []string
+	FCT      []float64
+	Loss     []float64
+}
+
+// RunSlowStartExitComparison sweeps the three variants over iters
+// downloads of size bytes on a large-BDP wired path.
+func RunSlowStartExitComparison(size int64, iters int, seed int64) SlowStartExitResult {
+	sc := scenarios.New(scenarios.GoogleTokyo, netem.Wired, seed)
+	res := SlowStartExitResult{Scenario: sc.Name()}
+	for _, algo := range []Algo{Cubic, CubicHSPP, Suss} {
+		var fcts, losses []float64
+		for it := 0; it < iters; it++ {
+			r := Download(sc, algo, size, it, nil)
+			if !r.Completed {
+				panic("experiments: slow-start comparison flow did not complete")
+			}
+			fcts = append(fcts, r.FCT.Seconds())
+			losses = append(losses, r.LossRate)
+		}
+		res.Variants = append(res.Variants, algo.String())
+		res.FCT = append(res.FCT, stats.Mean(fcts))
+		res.Loss = append(res.Loss, stats.Mean(losses))
+	}
+	return res
+}
+
+// Render prints the comparison.
+func (r SlowStartExitResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Slow-start exit comparison on %s\n", r.Scenario)
+	fmt.Fprintf(&b, "  %-12s %10s %10s\n", "variant", "FCT", "loss")
+	for i, v := range r.Variants {
+		fmt.Fprintf(&b, "  %-12s %9.3fs %9.3f%%\n", v, r.FCT[i], 100*r.Loss[i])
+	}
+	return b.String()
+}
+
+// FutureWorkResult compares plain BBR with the §7 BBR+SUSS prototype
+// across flow sizes on a large-BDP path.
+type FutureWorkResult struct {
+	Scenario string
+	Sizes    []int64
+	// FCT[size][0] = bbr, [1] = bbr+suss; Improvement per size.
+	FCT         [][]float64
+	Improvement []float64
+}
+
+// RunFutureWorkBBRSuss sweeps flow sizes for BBR vs BBR+SUSS.
+func RunFutureWorkBBRSuss(sizes []int64, iters int, seed int64) FutureWorkResult {
+	sc := scenarios.New(scenarios.GoogleTokyo, netem.Wired, seed)
+	res := FutureWorkResult{Scenario: sc.Name(), Sizes: sizes}
+	for _, size := range sizes {
+		plain, _ := FCTs(sc, BBR, size, iters)
+		boosted, _ := FCTs(sc, BBRSuss, size, iters)
+		pm, bm := stats.Mean(plain), stats.Mean(boosted)
+		res.FCT = append(res.FCT, []float64{pm, bm})
+		res.Improvement = append(res.Improvement, Improvement(pm, bm))
+	}
+	return res
+}
+
+// Render prints the comparison.
+func (r FutureWorkResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§7 future work — BBR vs BBR+SUSS on %s\n", r.Scenario)
+	fmt.Fprintf(&b, "  %-8s %10s %10s %12s\n", "size", "bbr", "bbr+suss", "improvement")
+	for i, size := range r.Sizes {
+		fmt.Fprintf(&b, "  %-8s %9.3fs %9.3fs %11.1f%%\n",
+			SizeLabel(size), r.FCT[i][0], r.FCT[i][1], 100*r.Improvement[i])
+	}
+	return b.String()
+}
+
+// AQMResult compares the network-assisted path (a CoDel bottleneck,
+// related work per RFC 8290) against SUSS's sender-side approach: both
+// attack slow-start's standing-queue and burst-loss problems, one from
+// the router, one from the end host.
+type AQMResult struct {
+	Variants []string
+	FCT      []float64
+	Loss     []float64
+	MaxRTTms []float64
+}
+
+// RunAQMComparison downloads size bytes over a 100 Mbps × 100 ms path
+// with a shallow-ish buffer under three regimes: CUBIC + drop-tail,
+// CUBIC + CoDel, and CUBIC+SUSS + drop-tail.
+func RunAQMComparison(size int64, iters int, seed int64) AQMResult {
+	res := AQMResult{}
+	type variant struct {
+		name  string
+		algo  Algo
+		qdisc netsim.QdiscFactory
+	}
+	for _, v := range []variant{
+		{"cubic/drop-tail", Cubic, nil},
+		{"cubic/codel", Cubic, netsim.CoDelFactory},
+		{"suss/drop-tail", Suss, nil},
+	} {
+		var fcts, losses, maxRTTs []float64
+		for it := 0; it < iters; it++ {
+			sim := netsim.NewSimulator()
+			rtt := 100 * time.Millisecond
+			rate := 1e8
+			bdp := rate / 8 * rtt.Seconds()
+			p := netsim.NewPath(sim, netsim.PathSpec{Forward: []netsim.LinkConfig{
+				{Name: "core", Rate: 1e9, Delay: rtt/2 - 5*time.Millisecond, QueueBytes: 64 << 20},
+				{Name: "bneck", Rate: rate, Delay: 5 * time.Millisecond, QueueBytes: int(bdp), Qdisc: v.qdisc},
+			}})
+			f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
+			f.Sender.SetController(NewController(v.algo, f.Sender))
+			var maxRTT time.Duration
+			f.Sender.OnAckTrace = func(now time.Duration, cwnd int64, srtt time.Duration, delivered int64) {
+				if srtt > maxRTT {
+					maxRTT = srtt
+				}
+			}
+			f.StartAt(sim, 0)
+			sim.Run(20 * time.Minute)
+			if !f.Done() {
+				panic("experiments: AQM comparison flow did not complete")
+			}
+			st := p.Fwd[1].Stats()
+			fcts = append(fcts, f.FCT().Seconds())
+			if off := st.EnqueuedPackets + st.DroppedPackets; off > 0 {
+				losses = append(losses, float64(st.DroppedPackets)/float64(off))
+			}
+			maxRTTs = append(maxRTTs, float64(maxRTT)/1e6)
+		}
+		res.Variants = append(res.Variants, v.name)
+		res.FCT = append(res.FCT, stats.Mean(fcts))
+		res.Loss = append(res.Loss, stats.Mean(losses))
+		res.MaxRTTms = append(res.MaxRTTms, stats.Mean(maxRTTs))
+	}
+	return res
+}
+
+// Render prints the comparison.
+func (r AQMResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Related work — AQM (CoDel) vs sender-side SUSS\n")
+	fmt.Fprintf(&b, "  %-18s %10s %10s %12s\n", "variant", "FCT", "loss", "max sRTT")
+	for i, v := range r.Variants {
+		fmt.Fprintf(&b, "  %-18s %9.3fs %9.3f%% %10.1fms\n", v, r.FCT[i], 100*r.Loss[i], r.MaxRTTms[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (§6 and appendices), built on the scenario
+// catalog. Each runner returns a typed result with a Render method
+// that prints rows shaped like the paper's plots; cmd/sussbench and
+// the top-level benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"suss/internal/bbr"
+	"suss/internal/cc"
+	"suss/internal/core"
+	"suss/internal/cubic"
+	"suss/internal/netsim"
+	"suss/internal/scenarios"
+	"suss/internal/tcp"
+)
+
+// Algo selects a congestion-control algorithm for a flow.
+type Algo int
+
+const (
+	// Cubic is CUBIC with HyStart, SUSS off (the paper's baseline).
+	Cubic Algo = iota
+	// Suss is CUBIC with the SUSS add-on enabled.
+	Suss
+	// BBR is BBRv1.
+	BBR
+	// BBR2 is the BBRv2-lite variant.
+	BBR2
+	// CubicHSPP is CUBIC with HyStart++ (RFC 9406) instead of classic
+	// HyStart — the related-work slow-start exit the paper positions
+	// SUSS against.
+	CubicHSPP
+	// BBRSuss is the paper's §7 future work: BBRv1 with SUSS-style
+	// growth prediction doubling STARTUP's gains.
+	BBRSuss
+)
+
+func (a Algo) String() string {
+	switch a {
+	case Cubic:
+		return "cubic"
+	case Suss:
+		return "cubic+suss"
+	case BBR:
+		return "bbr"
+	case BBR2:
+		return "bbr2"
+	case CubicHSPP:
+		return "cubic+hspp"
+	case BBRSuss:
+		return "bbr+suss"
+	default:
+		return "unknown"
+	}
+}
+
+// NewController builds a's controller bound to sender s.
+func NewController(a Algo, s *tcp.Sender) cc.Controller {
+	switch a {
+	case Cubic:
+		return cubic.New(s, cubic.DefaultOptions())
+	case Suss:
+		return core.New(s, core.DefaultOptions())
+	case BBR:
+		return bbr.New(s, bbr.DefaultOptions())
+	case BBR2:
+		return bbr.New(s, bbr.V2Options())
+	case CubicHSPP:
+		opt := cubic.DefaultOptions()
+		opt.HyStartPP = true
+		return cubic.New(s, opt)
+	case BBRSuss:
+		return bbr.New(s, bbr.SUSSOptions())
+	default:
+		panic("experiments: unknown algo")
+	}
+}
+
+// SussOptions lets ablation runs customize the SUSS configuration.
+type SussOptions = core.Options
+
+// DownloadResult captures one file download.
+type DownloadResult struct {
+	Algo        Algo
+	Size        int64
+	FCT         time.Duration // receiver-side (paper's wget-style FCT)
+	Delivered   int64
+	Segments    int
+	Retrans     int
+	RTOs        int
+	Drops       int     // bottleneck + last-hop drops (congestion + erasures)
+	LossRate    float64 // drops / data packets offered to the last hop
+	MaxG        int     // SUSS only
+	AccelRounds int     // SUSS only
+	Completed   bool
+}
+
+// Download runs one file transfer over an internet-matrix scenario.
+// iter perturbs the impairment seed so repeated runs sample the
+// stochastic wireless models, mirroring the paper's 50 iterations.
+// sussOpt overrides the SUSS configuration when algo == Suss and
+// sussOpt != nil.
+func Download(sc scenarios.Scenario, algo Algo, size int64, iter int, sussOpt *SussOptions) DownloadResult {
+	sc.Seed = sc.Seed*1000003 + int64(iter)*7919 + 1
+	sim := netsim.NewSimulator()
+	p, _ := sc.Build(sim)
+	cfg := tcp.DefaultConfig()
+	f := tcp.NewFlow(sim, cfg, 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
+	var ctrl cc.Controller
+	if algo == Suss && sussOpt != nil {
+		ctrl = core.New(f.Sender, *sussOpt)
+	} else {
+		ctrl = NewController(algo, f.Sender)
+	}
+	f.Sender.SetController(ctrl)
+	f.StartAt(sim, 0)
+	// Generous horizon: FCTs here are seconds, not minutes.
+	sim.Run(20 * time.Minute)
+	sim.StopWhen(nil)
+
+	last := p.Fwd[len(p.Fwd)-1]
+	lst := last.Stats()
+	res := DownloadResult{
+		Algo:      algo,
+		Size:      size,
+		FCT:       f.FCT(),
+		Delivered: f.Sender.Delivered(),
+		Segments:  f.Sender.Stats().SegmentsSent,
+		Retrans:   f.Sender.Stats().Retransmissions,
+		RTOs:      f.Sender.Stats().RTOs,
+		Drops:     lst.DroppedPackets + lst.ErasedPackets,
+		Completed: f.Done(),
+	}
+	offered := lst.EnqueuedPackets + lst.DroppedPackets
+	if offered > 0 {
+		res.LossRate = float64(res.Drops) / float64(offered)
+	}
+	if s, ok := ctrl.(*core.Suss); ok {
+		res.MaxG = s.Stats().MaxG
+		res.AccelRounds = s.Stats().AcceleratedRounds
+	}
+	return res
+}
+
+// FCTs runs iters downloads and returns completion times in seconds
+// plus the mean loss rate.
+func FCTs(sc scenarios.Scenario, algo Algo, size int64, iters int) (fcts []float64, meanLoss float64) {
+	var loss float64
+	for i := 0; i < iters; i++ {
+		r := Download(sc, algo, size, i, nil)
+		if !r.Completed {
+			// A non-completing flow is a bug in the stack, not a data
+			// point; surface it loudly.
+			panic(fmt.Sprintf("experiments: %s %s size=%d iter=%d did not complete", sc.Name(), algo, size, i))
+		}
+		fcts = append(fcts, r.FCT.Seconds())
+		loss += r.LossRate
+	}
+	return fcts, loss / float64(iters)
+}
+
+// Improvement returns the relative FCT gain of b over a: (a-b)/a.
+func Improvement(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a
+}
+
+// DefaultSizes is the flow-size sweep used across figures (bytes).
+var DefaultSizes = []int64{
+	256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 12 << 20,
+}
+
+// SizeLabel formats a byte count the way the paper's axes do.
+func SizeLabel(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%gMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%gKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

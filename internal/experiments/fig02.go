@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"suss/internal/scenarios"
+	"suss/internal/stats"
+)
+
+// Fig02Result reproduces Fig. 2: a new flow joining four established
+// flows at a shared 50 Mbps bottleneck, under CUBIC and BBR. The paper
+// uses it to motivate SUSS: CUBIC's loss-sensitive slow start keeps
+// the late joiner below its fair share for a long time.
+type Fig02Result struct {
+	Algo Algo
+	// JoinAt is when the fifth flow started.
+	JoinAt time.Duration
+	// FairShare is the per-flow fair rate (bottleneck / 5), bits/sec.
+	FairShare float64
+	// Share is the joiner's goodput / fair share, per 1 s bin after
+	// the join.
+	Share []float64
+	// TimeToHalfShare and TimeToFairShare are how long after joining
+	// the new flow first sustains 50% / 80% of its fair share (-1 if
+	// never within the horizon).
+	TimeToHalfShare time.Duration
+	TimeToFairShare time.Duration
+}
+
+// RunFig02 runs the late-joiner experiment for one algorithm family
+// (all five flows use it).
+func RunFig02(algo Algo, rtt time.Duration, bufferBDP float64, joinAt, horizon time.Duration) Fig02Result {
+	tb := scenarios.DefaultTestbed(rtt, bufferBDP)
+	specs := make([]TestbedFlow, 0, 5)
+	for i := 0; i < 4; i++ {
+		specs = append(specs, TestbedFlow{Pair: i, Algo: algo, Start: time.Duration(i) * 2 * time.Second})
+	}
+	specs = append(specs, TestbedFlow{Pair: 4, Algo: algo, Start: joinAt})
+	run := RunTestbed(tb, specs, horizon, time.Second)
+
+	res := Fig02Result{Algo: algo, JoinAt: joinAt, FairShare: tb.BtlRate / 5}
+	joinBin := int(joinAt / time.Second)
+	bins := run.Bins[4].Rate()
+	res.TimeToHalfShare = -1
+	res.TimeToFairShare = -1
+	for i := joinBin; i < len(bins); i++ {
+		share := bins[i] * 8 / res.FairShare
+		res.Share = append(res.Share, share)
+		since := time.Duration(i-joinBin) * time.Second
+		if res.TimeToHalfShare < 0 && share >= 0.5 {
+			res.TimeToHalfShare = since
+		}
+		if res.TimeToFairShare < 0 && share >= 0.8 {
+			res.TimeToFairShare = since
+		}
+	}
+	return res
+}
+
+// Render prints the joiner's share curve.
+func (r Fig02Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — late joiner under %s (join at %v, fair share %.1f Mbps)\n",
+		r.Algo, r.JoinAt, r.FairShare/1e6)
+	fmt.Fprintf(&b, "  time to 50%% share: %v, time to 80%% share: %v\n", r.TimeToHalfShare, r.TimeToFairShare)
+	n := len(r.Share)
+	if n > 12 {
+		n = 12
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    +%2ds  share=%5.2f\n", i, r.Share[i])
+	}
+	return b.String()
+}
+
+// Fig02Mean summarizes a share curve (for benches).
+func (r Fig02Result) Fig02Mean(first int) float64 {
+	if first > len(r.Share) {
+		first = len(r.Share)
+	}
+	return stats.Mean(r.Share[:first])
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"suss/internal/netem"
+	"suss/internal/scenarios"
+	"suss/internal/stats"
+)
+
+// Fig11Result reproduces Fig. 11 (FCT vs flow size for BBR, CUBIC with
+// SUSS on, and CUBIC with SUSS off, on the Tokyo server across the
+// four last-hop types) and, derived from it, Fig. 12 (the relative FCT
+// improvement SUSS brings to CUBIC).
+type Fig11Result struct {
+	Server scenarios.Server
+	Links  []netem.LinkType
+	Sizes  []int64
+	Algos  []Algo
+	// FCT[link][size][algo] summarizes iters downloads (seconds).
+	FCT [][][]stats.Summary
+	// Improvement[link][size] is Fig. 12's (cubic−suss)/cubic.
+	Improvement [][]float64
+}
+
+// RunFig11 sweeps flow sizes × link types × algorithms with the given
+// iteration count.
+func RunFig11(server scenarios.Server, sizes []int64, iters int, seed int64) Fig11Result {
+	res := Fig11Result{
+		Server: server,
+		Links:  []netem.LinkType{netem.NR5G, netem.Wired, netem.WiFi, netem.LTE4G},
+		Sizes:  sizes,
+		Algos:  []Algo{BBR, Suss, Cubic},
+	}
+	for li, lt := range res.Links {
+		sc := scenarios.New(server, lt, seed+int64(li))
+		var bySize [][]stats.Summary
+		var imp []float64
+		for _, size := range sizes {
+			var byAlgo []stats.Summary
+			var cubicMean, sussMean float64
+			for _, algo := range res.Algos {
+				fcts, _ := FCTs(sc, algo, size, iters)
+				s := stats.Summarize(fcts)
+				byAlgo = append(byAlgo, s)
+				switch algo {
+				case Cubic:
+					cubicMean = s.Mean
+				case Suss:
+					sussMean = s.Mean
+				}
+			}
+			bySize = append(bySize, byAlgo)
+			imp = append(imp, Improvement(cubicMean, sussMean))
+		}
+		res.FCT = append(res.FCT, bySize)
+		res.Improvement = append(res.Improvement, imp)
+	}
+	return res
+}
+
+// Render prints the FCT grid plus the Fig. 12 improvement rows.
+func (r Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 11/12 — FCT vs flow size, server %s\n", r.Server)
+	for li, lt := range r.Links {
+		fmt.Fprintf(&b, "  last hop %s:\n", lt)
+		fmt.Fprintf(&b, "    %-8s", "size")
+		for _, a := range r.Algos {
+			fmt.Fprintf(&b, " %12s", a)
+		}
+		fmt.Fprintf(&b, " %12s\n", "improvement")
+		for si, size := range r.Sizes {
+			fmt.Fprintf(&b, "    %-8s", SizeLabel(size))
+			for ai := range r.Algos {
+				s := r.FCT[li][si][ai]
+				fmt.Fprintf(&b, " %8.3fs±%.2f", s.Mean, s.StdDev)
+			}
+			fmt.Fprintf(&b, " %11.1f%%\n", 100*r.Improvement[li][si])
+		}
+	}
+	return b.String()
+}
+
+// SmallFlowImprovement returns the mean Fig. 12 improvement over sizes
+// ≤ maxSize (the paper's ">20% for flows ≤2 MB" claim).
+func (r Fig11Result) SmallFlowImprovement(maxSize int64) float64 {
+	var xs []float64
+	for li := range r.Links {
+		for si, size := range r.Sizes {
+			if size <= maxSize {
+				xs = append(xs, r.Improvement[li][si])
+			}
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// Fig13Result reproduces Fig. 13: a 100 MB cloud-to-cloud transfer
+// (US-East → Sydney) where SUSS's gain appears in the early megabytes
+// and tapers to nothing.
+type Fig13Result struct {
+	Size int64
+	// Checkpoints are delivered-volume marks (bytes).
+	Checkpoints []int64
+	// TimeAt[variant][i] is when the variant (0=off, 1=on) had
+	// delivered Checkpoints[i].
+	TimeAt [2][]time.Duration
+	// ImprovementAt[i] is the relative time saving at checkpoint i.
+	ImprovementAt []float64
+	// TotalImprovement is the end-to-end FCT gain (should be ≈0).
+	TotalImprovement float64
+}
+
+// RunFig13 runs the large-flow experiment.
+func RunFig13(seed int64) Fig13Result {
+	size := int64(100 << 20)
+	res := Fig13Result{Size: size}
+	for _, mb := range []int64{1, 2, 5, 10, 20, 50, 100} {
+		res.Checkpoints = append(res.Checkpoints, mb<<20)
+	}
+
+	// US-East ↔ Sydney cloud-to-cloud: 200 ms RTT at a mature
+	// intercontinental 100 Mbps, so the 100 MB transfer spends most of
+	// its life in steady state and the slow-start saving washes out,
+	// as in the paper.
+	sc := scenarios.Scenario{
+		Server:   scenarios.GoogleUSEast,
+		Link:     netem.Wired,
+		RTT:      200 * time.Millisecond,
+		LastHop:  netem.DefaultProfile(netem.Wired, 1e8),
+		CoreRate: 1e9,
+		Seed:     seed,
+	}
+	for variant := 0; variant < 2; variant++ {
+		algo := Cubic
+		if variant == 1 {
+			algo = Suss
+		}
+		tr := downloadTrace(sc, algo, size)
+		for _, cp := range res.Checkpoints {
+			t, ok := tr.TimeToDeliver(cp)
+			if !ok {
+				t = -1
+			}
+			res.TimeAt[variant] = append(res.TimeAt[variant], t)
+		}
+	}
+	for i := range res.Checkpoints {
+		off, on := res.TimeAt[0][i], res.TimeAt[1][i]
+		res.ImprovementAt = append(res.ImprovementAt, Improvement(off.Seconds(), on.Seconds()))
+	}
+	res.TotalImprovement = res.ImprovementAt[len(res.ImprovementAt)-1]
+	return res
+}
+
+// Render prints improvement vs progress.
+func (r Fig13Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 13 — 100 MB US-East → Sydney, SUSS gain vs transfer progress\n")
+	for i, cp := range r.Checkpoints {
+		fmt.Fprintf(&b, "  at %6s: off=%-10v on=%-10v improvement=%5.1f%%\n",
+			SizeLabel(cp), r.TimeAt[0][i].Round(time.Millisecond), r.TimeAt[1][i].Round(time.Millisecond),
+			100*r.ImprovementAt[i])
+	}
+	fmt.Fprintf(&b, "  total FCT improvement: %.1f%% (paper: tapers to ≈0)\n", 100*r.TotalImprovement)
+	return b.String()
+}
+
+// WriteCSV emits the Fig. 11/12 grid as CSV rows:
+// link,size_bytes,algo,fct_mean_s,fct_std_s,improvement.
+func (r Fig11Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "link,size_bytes,algo,fct_mean_s,fct_std_s,improvement"); err != nil {
+		return err
+	}
+	for li, lt := range r.Links {
+		for si, size := range r.Sizes {
+			for ai, a := range r.Algos {
+				s := r.FCT[li][si][ai]
+				if _, err := fmt.Fprintf(w, "%s,%d,%s,%.6f,%.6f,%.4f\n",
+					lt, size, a, s.Mean, s.StdDev, r.Improvement[li][si]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

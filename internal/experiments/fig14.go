@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"suss/internal/netem"
+	"suss/internal/scenarios"
+	"suss/internal/stats"
+)
+
+// Fig14Result reproduces Fig. 14: packet-loss rate vs flow size for
+// CUBIC with SUSS on/off (Oracle London server, 5G client in Sweden).
+// SUSS's pacing reduces loss during slow start; the curves converge as
+// flows grow and steady-state losses dominate.
+type Fig14Result struct {
+	Sizes []int64
+	// Loss[variant][i]: mean loss rate, variant 0 = off, 1 = on.
+	Loss [2][]float64
+}
+
+// RunFig14 sweeps flow sizes, iters runs each.
+func RunFig14(sizes []int64, iters int, seed int64) Fig14Result {
+	res := Fig14Result{Sizes: sizes}
+	sc := scenarios.New(scenarios.OracleLondon, netem.NR5G, seed)
+	// The London/5G cell already carries the shallow Oracle-egress
+	// buffer calibration (see scenarios.New); tighten slightly so the
+	// 2 MB point still shows slow-start loss.
+	sc.LastHop.BufferBDPs = 0.25
+	for vi, algo := range []Algo{Cubic, Suss} {
+		for _, size := range sizes {
+			var rates []float64
+			for it := 0; it < iters; it++ {
+				r := Download(sc, algo, size, it, nil)
+				rates = append(rates, r.LossRate)
+			}
+			res.Loss[vi] = append(res.Loss[vi], stats.Mean(rates))
+		}
+	}
+	return res
+}
+
+// Render prints the two loss curves.
+func (r Fig14Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 14 — packet loss vs flow size (London server, 5G client)\n")
+	fmt.Fprintf(&b, "  %-8s %12s %12s\n", "size", "SUSS off", "SUSS on")
+	for i, size := range r.Sizes {
+		fmt.Fprintf(&b, "  %-8s %11.3f%% %11.3f%%\n",
+			SizeLabel(size), 100*r.Loss[0][i], 100*r.Loss[1][i])
+	}
+	return b.String()
+}

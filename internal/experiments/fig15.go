@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"suss/internal/scenarios"
+	"suss/internal/stats"
+)
+
+// Fig15Config is one of the twelve sub-figures: a minRTT and a
+// bottleneck buffer depth.
+type Fig15Config struct {
+	RTT       time.Duration
+	BufferBDP float64
+}
+
+// Fig15Configs mirrors the paper's grid: RTT ∈ {25, 50, 100, 200} ms ×
+// buffer ∈ {1, 1.5, 2} BDP.
+func Fig15Configs() []Fig15Config {
+	var out []Fig15Config
+	for _, buf := range []float64{1, 1.5, 2} {
+		for _, rtt := range []time.Duration{25, 50, 100, 200} {
+			out = append(out, Fig15Config{RTT: rtt * time.Millisecond, BufferBDP: buf})
+		}
+	}
+	return out
+}
+
+// Fig15Result reproduces one sub-figure of Fig. 15: Jain's fairness
+// index over time as a fifth flow joins four established flows, with
+// SUSS off and on.
+type Fig15Result struct {
+	Config Fig15Config
+	JoinAt time.Duration
+	// Jain[variant] is the index per 1-second bin from the join
+	// onward (variant 0 = SUSS off, 1 = on).
+	Jain [2][]float64
+	// RecoveryTime[variant] is how long after the join the index
+	// first returns above 0.95 (-1 if never).
+	RecoveryTime [2]time.Duration
+	// MeanPostJoin[variant] is the average index over the post-join
+	// window — higher is fairer.
+	MeanPostJoin [2]float64
+}
+
+// RunFig15 runs both variants for one configuration.
+func RunFig15(cfg Fig15Config, joinAt, horizon time.Duration) Fig15Result {
+	res := Fig15Result{Config: cfg, JoinAt: joinAt}
+	for variant := 0; variant < 2; variant++ {
+		algo := Cubic
+		if variant == 1 {
+			algo = Suss
+		}
+		tb := scenarios.DefaultTestbed(cfg.RTT, cfg.BufferBDP)
+		var specs []TestbedFlow
+		for i := 0; i < 4; i++ {
+			specs = append(specs, TestbedFlow{Pair: i, Algo: algo, Start: time.Duration(i) * 2 * time.Second})
+		}
+		specs = append(specs, TestbedFlow{Pair: 4, Algo: algo, Start: joinAt})
+		run := RunTestbed(tb, specs, horizon, time.Second)
+
+		series := stats.JainOverTime(run.Bins, true)
+		joinBin := int(joinAt / time.Second)
+		res.RecoveryTime[variant] = -1
+		var post []float64
+		for i := joinBin; i < len(series); i++ {
+			res.Jain[variant] = append(res.Jain[variant], series[i])
+			post = append(post, series[i])
+			if res.RecoveryTime[variant] < 0 && i > joinBin && series[i] >= 0.95 {
+				res.RecoveryTime[variant] = time.Duration(i-joinBin) * time.Second
+			}
+		}
+		res.MeanPostJoin[variant] = stats.Mean(post)
+	}
+	return res
+}
+
+// Render prints the recovery metrics and the first seconds of the
+// index curves.
+func (r Fig15Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 15 — fairness, minRTT=%v buffer=%.1fBDP (join at %v)\n",
+		r.Config.RTT, r.Config.BufferBDP, r.JoinAt)
+	names := [2]string{"SUSS off", "SUSS on"}
+	for v := 0; v < 2; v++ {
+		fmt.Fprintf(&b, "  %-8s recovery(F≥0.95)=%-10v mean post-join F=%.3f\n",
+			names[v], r.RecoveryTime[v], r.MeanPostJoin[v])
+	}
+	n := len(r.Jain[0])
+	if n > 10 {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    +%2ds  off=%.3f on=%.3f\n", i, r.Jain[0][i], r.Jain[1][i])
+	}
+	return b.String()
+}

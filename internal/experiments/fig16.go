@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"suss/internal/scenarios"
+	"suss/internal/stats"
+)
+
+// Fig16Result reproduces Fig. 16 and Table 1: one large flow sharing
+// the bottleneck with twelve sequentially-started 2 MB flows of
+// different minRTTs.
+type Fig16Result struct {
+	LargeAlgo Algo
+	SmallAlgo Algo
+	RTT       time.Duration
+	BufferBDP float64
+	// LargeFCT is the large flow's completion time (seconds).
+	LargeFCT float64
+	// SmallFCTs are the twelve small-flow completion times (seconds).
+	SmallFCTs []float64
+	// LargeGoodput is the large flow's goodput per second (bits/sec).
+	LargeGoodput []float64
+}
+
+// RunFig16 runs the stability workload: a large flow of largeSize
+// bytes plus twelve 2 MB flows at 2-second intervals, small flows
+// rotating over the remaining four pairs with spread minRTTs.
+func RunFig16(largeAlgo, smallAlgo Algo, rtt time.Duration, bufferBDP float64, largeSize int64) Fig16Result {
+	perPair := []time.Duration{rtt, 30 * time.Millisecond, 60 * time.Millisecond, 120 * time.Millisecond, 180 * time.Millisecond}
+	tb := scenarios.DefaultTestbed(rtt, bufferBDP)
+	tb.PerPairRTT = perPair
+
+	specs := []TestbedFlow{{Pair: 0, Algo: largeAlgo, Size: largeSize, Start: 0}}
+	for i := 0; i < 12; i++ {
+		specs = append(specs, TestbedFlow{
+			Pair:  1 + i%4,
+			Algo:  smallAlgo,
+			Size:  2 << 20,
+			Start: time.Duration(i+1) * 2 * time.Second,
+		})
+	}
+	// Horizon: long enough for the large flow at a contended 50 Mbps.
+	horizon := time.Duration(float64(largeSize*8)/tb.BtlRate*3+30) * time.Second
+	run := RunTestbed(tb, specs, horizon, time.Second)
+
+	res := Fig16Result{LargeAlgo: largeAlgo, SmallAlgo: smallAlgo, RTT: rtt, BufferBDP: bufferBDP}
+	if !run.Flows[0].Done() {
+		panic("experiments: large flow did not complete; raise the horizon")
+	}
+	res.LargeFCT = run.Flows[0].FCT().Seconds()
+	for i := 1; i <= 12; i++ {
+		if !run.Flows[i].Done() {
+			panic(fmt.Sprintf("experiments: small flow %d did not complete", i))
+		}
+		res.SmallFCTs = append(res.SmallFCTs, run.Flows[i].FCT().Seconds())
+	}
+	for _, v := range run.Bins[0].Rate() {
+		res.LargeGoodput = append(res.LargeGoodput, v*8)
+	}
+	return res
+}
+
+// Table1Row is one line of Table 1 for a given large-flow CCA.
+type Table1Row struct {
+	BufferBDP float64
+	RTT       time.Duration
+	// Off/On are the SUSS-off / SUSS-on measurements.
+	LargeFCTOff, SmallFCTOff float64
+	LargeFCTOn, SmallFCTOn   float64
+	// ImprovementSmall is (off−on)/off for the small flows' mean FCT.
+	ImprovementSmall float64
+	// LargeFCTDelta is the relative change in large-flow FCT (the
+	// paper's stability criterion: ≈0).
+	LargeFCTDelta float64
+}
+
+// Table1Result is one of the paper's three sub-tables.
+type Table1Result struct {
+	LargeAlgo Algo
+	Rows      []Table1Row
+}
+
+// RunTable1 sweeps buffer ∈ {1,2} BDP × RTT ∈ {25,50,100,200} ms for a
+// large-flow CCA, with the small flows on CUBIC ± SUSS.
+func RunTable1(largeAlgo Algo, largeSize int64) Table1Result {
+	res := Table1Result{LargeAlgo: largeAlgo}
+	for _, buf := range []float64{1, 2} {
+		for _, rttMs := range []int{25, 50, 100, 200} {
+			rtt := time.Duration(rttMs) * time.Millisecond
+			off := RunFig16(largeAlgo, Cubic, rtt, buf, largeSize)
+			on := RunFig16(largeAlgo, Suss, rtt, buf, largeSize)
+			row := Table1Row{
+				BufferBDP:   buf,
+				RTT:         rtt,
+				LargeFCTOff: off.LargeFCT,
+				SmallFCTOff: stats.Mean(off.SmallFCTs),
+				LargeFCTOn:  on.LargeFCT,
+				SmallFCTOn:  stats.Mean(on.SmallFCTs),
+			}
+			row.ImprovementSmall = Improvement(row.SmallFCTOff, row.SmallFCTOn)
+			row.LargeFCTDelta = (row.LargeFCTOn - row.LargeFCTOff) / row.LargeFCTOff
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Render prints the sub-table.
+func (r Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — large flow on %s, twelve 2MB CUBIC flows ± SUSS\n", r.LargeAlgo)
+	fmt.Fprintf(&b, "  %-6s %-7s %10s %10s %10s %10s %8s %8s\n",
+		"buffer", "minRTT", "largeOff", "smallOff", "largeOn", "smallOn", "smallImp", "largeΔ")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-6.1f %-7s %9.1fs %9.2fs %9.1fs %9.2fs %7.0f%% %7.1f%%\n",
+			row.BufferBDP, row.RTT, row.LargeFCTOff, row.SmallFCTOff,
+			row.LargeFCTOn, row.SmallFCTOn, 100*row.ImprovementSmall, 100*row.LargeFCTDelta)
+	}
+	return b.String()
+}
+
+// MeanSmallImprovement averages the small-flow FCT gain over rows.
+func (r Table1Result) MeanSmallImprovement() float64 {
+	var xs []float64
+	for _, row := range r.Rows {
+		xs = append(xs, row.ImprovementSmall)
+	}
+	return stats.Mean(xs)
+}
+
+// Render prints the Fig. 16 view: the large flow's goodput trace with
+// the small-flow dips, plus the small-flow completion times.
+func (r Fig16Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 16 — large %s flow vs twelve 2MB %s flows (minRTT %v, buffer %.1f BDP)\n",
+		r.LargeAlgo, r.SmallAlgo, r.RTT, r.BufferBDP)
+	fmt.Fprintf(&b, "  large FCT %.1fs; small FCTs mean %.2fs\n", r.LargeFCT, stats.Mean(r.SmallFCTs))
+	fmt.Fprintf(&b, "  large-flow goodput (Mbps/s): ")
+	for i, g := range r.LargeGoodput {
+		if i >= 30 {
+			fmt.Fprintf(&b, "…")
+			break
+		}
+		fmt.Fprintf(&b, "%.0f ", g/1e6)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"time"
+
+	"suss/internal/netsim"
+	"suss/internal/scenarios"
+	"suss/internal/tcp"
+	"suss/internal/trace"
+)
+
+// downloadTrace runs one download over a scenario and returns its
+// delivery trace, sampled at every ACK so volume checkpoints (e.g.
+// Fig. 13's "time to deliver N MB") are exact.
+func downloadTrace(sc scenarios.Scenario, algo Algo, size int64) *trace.FlowTrace {
+	sim := netsim.NewSimulator()
+	p, _ := sc.Build(sim)
+	f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
+	f.Sender.SetController(NewController(algo, f.Sender))
+	tr := trace.Attach(f.Sender, algo.String(), 0)
+	f.StartAt(sim, 0)
+	sim.Run(20 * time.Minute)
+	return tr
+}

@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// RateFunc returns the link's instantaneous transmission rate in bits
+// per second at virtual time now. Implementations must return a
+// positive value.
+type RateFunc func(now time.Duration) float64
+
+// DelayFunc returns extra one-way delay (jitter) to add to a packet's
+// propagation at virtual time now, and may be stochastic.
+type DelayFunc func(now time.Duration, pkt *Packet) time.Duration
+
+// LossFunc reports whether to drop pkt after it leaves the queue
+// (random wire loss, independent of congestion drops).
+type LossFunc func(pkt *Packet) bool
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	// Name appears in traces and error messages.
+	Name string
+	// Rate is the transmission rate in bits per second. Ignored if
+	// RateModel is set.
+	Rate float64
+	// RateModel, when non-nil, supplies a time-varying rate (wireless
+	// links). It overrides Rate.
+	RateModel RateFunc
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter, when non-nil, adds per-packet extra delay.
+	Jitter DelayFunc
+	// Loss, when non-nil, drops packets randomly after dequeue.
+	Loss LossFunc
+	// QueueBytes is the buffer capacity. Zero means a generous
+	// default of 1 MiB.
+	QueueBytes int
+	// Qdisc selects the queue discipline (nil = drop-tail FIFO).
+	// netsim.CoDelFactory installs CoDel (RFC 8289).
+	Qdisc QdiscFactory
+	// AllowReorder permits jitter to reorder deliveries. When false
+	// (default) arrival times are clamped to be non-decreasing, which
+	// matches a FIFO pipe.
+	AllowReorder bool
+}
+
+// LinkStats counts what happened on a link.
+type LinkStats struct {
+	EnqueuedPackets  int
+	EnqueuedBytes    int64
+	DroppedPackets   int // tail drops (congestion)
+	DroppedBytes     int64
+	ErasedPackets    int // random (wire) losses
+	DeliveredPackets int
+	DeliveredBytes   int64
+	MaxQueueBytes    int
+}
+
+// Link is a unidirectional FIFO pipe: a drop-tail queue, a serializer
+// running at the (possibly time-varying) link rate, and a fixed
+// propagation delay plus optional jitter. After the propagation delay
+// the packet is handed to the destination node.
+type Link struct {
+	sim  *Simulator
+	cfg  LinkConfig
+	dst  Node
+	rate RateFunc
+
+	qdisc Qdisc
+	busy  bool
+
+	lastArrival time.Duration // for in-order clamping
+	stats       LinkStats
+
+	// OnDrop, when non-nil, is invoked for every packet lost on this
+	// link (tail drop or random loss).
+	OnDrop func(pkt *Packet, congestion bool)
+}
+
+// NewLink creates a link feeding dst. The configuration is validated:
+// a non-positive fixed rate panics, since it would stall the queue
+// silently.
+func NewLink(sim *Simulator, cfg LinkConfig, dst Node) *Link {
+	if cfg.RateModel == nil && cfg.Rate <= 0 {
+		panic(fmt.Sprintf("netsim: link %q has non-positive rate %v", cfg.Name, cfg.Rate))
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 1 << 20
+	}
+	l := &Link{sim: sim, cfg: cfg, dst: dst}
+	if cfg.Qdisc != nil {
+		l.qdisc = cfg.Qdisc(cfg.QueueBytes)
+	} else {
+		l.qdisc = NewDropTail(cfg.QueueBytes)
+	}
+	if cfg.RateModel != nil {
+		l.rate = cfg.RateModel
+	} else {
+		r := cfg.Rate
+		l.rate = func(time.Duration) float64 { return r }
+	}
+	return l
+}
+
+// Name returns the configured link name.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueBytes returns the bytes currently buffered.
+func (l *Link) QueueBytes() int { return l.qdisc.Bytes() }
+
+// Queue returns the link's queue discipline (for AQM statistics).
+func (l *Link) Queue() Qdisc { return l.qdisc }
+
+// QueueLimit returns the configured buffer capacity in bytes.
+func (l *Link) QueueLimit() int { return l.cfg.QueueBytes }
+
+// RateAt returns the instantaneous rate in bits/sec at time now.
+func (l *Link) RateAt(now time.Duration) float64 { return l.rate(now) }
+
+// PropagationDelay returns the configured fixed one-way delay.
+func (l *Link) PropagationDelay() time.Duration { return l.cfg.Delay }
+
+// Enqueue offers a packet to the link. If the queue discipline
+// refuses it (tail drop) the packet is lost and OnDrop fires with
+// congestion=true.
+func (l *Link) Enqueue(pkt *Packet) {
+	if !l.qdisc.Enqueue(l.sim.Now(), pkt) {
+		l.stats.DroppedPackets++
+		l.stats.DroppedBytes += int64(pkt.Size)
+		if l.OnDrop != nil {
+			l.OnDrop(pkt, true)
+		}
+		return
+	}
+	l.stats.EnqueuedPackets++
+	l.stats.EnqueuedBytes += int64(pkt.Size)
+	if b := l.qdisc.Bytes(); b > l.stats.MaxQueueBytes {
+		l.stats.MaxQueueBytes = b
+	}
+	if !l.busy {
+		l.startTransmit()
+	}
+}
+
+func (l *Link) startTransmit() {
+	pkt, dropped := l.qdisc.Dequeue(l.sim.Now())
+	for _, d := range dropped {
+		// AQM (CoDel) drops are congestion signals like tail drops.
+		l.stats.DroppedPackets++
+		l.stats.DroppedBytes += int64(d.Size)
+		if l.OnDrop != nil {
+			l.OnDrop(d, true)
+		}
+	}
+	if pkt == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	rate := l.rate(l.sim.Now())
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: link %q rate model returned %v", l.cfg.Name, rate))
+	}
+	txTime := time.Duration(float64(pkt.Size*8) / rate * float64(time.Second))
+	l.sim.Schedule(txTime, func() { l.finishTransmit(pkt) })
+}
+
+func (l *Link) finishTransmit(pkt *Packet) {
+	// Start serializing the next packet immediately: the serializer is
+	// busy back-to-back while the queue is non-empty.
+	l.startTransmit()
+
+	if l.cfg.Loss != nil && l.cfg.Loss(pkt) {
+		l.stats.ErasedPackets++
+		if l.OnDrop != nil {
+			l.OnDrop(pkt, false)
+		}
+		return
+	}
+
+	delay := l.cfg.Delay
+	if l.cfg.Jitter != nil {
+		if extra := l.cfg.Jitter(l.sim.Now(), pkt); extra > 0 {
+			delay += extra
+		}
+	}
+	arrival := l.sim.Now() + delay
+	if !l.cfg.AllowReorder && arrival < l.lastArrival {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
+	l.sim.ScheduleAt(arrival, func() {
+		l.stats.DeliveredPackets++
+		l.stats.DeliveredBytes += int64(pkt.Size)
+		l.dst.Deliver(pkt)
+	})
+}

@@ -1,0 +1,86 @@
+package netsim
+
+import "fmt"
+
+// Router forwards packets by destination address over per-destination
+// output links. It models a store-and-forward IP router: queueing and
+// serialization happen in the outgoing Link.
+type Router struct {
+	id     NodeID
+	name   string
+	routes map[NodeID]*Link
+}
+
+// NewRouter creates a router with the given address.
+func NewRouter(id NodeID, name string) *Router {
+	return &Router{id: id, name: name, routes: make(map[NodeID]*Link)}
+}
+
+// ID implements Node.
+func (r *Router) ID() NodeID { return r.id }
+
+// Name returns the router's human-readable name.
+func (r *Router) Name() string { return r.name }
+
+// AddRoute sends traffic destined to dst out via link. Later calls for
+// the same destination replace the route.
+func (r *Router) AddRoute(dst NodeID, link *Link) { r.routes[dst] = link }
+
+// Deliver implements Node by forwarding onto the routed output link.
+// Packets with no route panic: a simulation wiring bug, not a runtime
+// condition.
+func (r *Router) Deliver(pkt *Packet) {
+	link, ok := r.routes[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: router %q has no route to node %d", r.name, pkt.Dst))
+	}
+	link.Enqueue(pkt)
+}
+
+// Host is a leaf node that hands every delivered packet to a handler
+// (normally a transport endpoint).
+type Host struct {
+	id      NodeID
+	name    string
+	handler func(pkt *Packet)
+	out     *Link
+}
+
+// NewHost creates a host. The handler may be nil initially and set
+// later with SetHandler (endpoints are created after topology wiring).
+func NewHost(id NodeID, name string) *Host {
+	return &Host{id: id, name: name}
+}
+
+// ID implements Node.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name returns the host's human-readable name.
+func (h *Host) Name() string { return h.name }
+
+// SetHandler installs the packet consumer.
+func (h *Host) SetHandler(fn func(pkt *Packet)) { h.handler = fn }
+
+// SetOutput attaches the host's (single) output link.
+func (h *Host) SetOutput(l *Link) { h.out = l }
+
+// Output returns the host's output link.
+func (h *Host) Output() *Link { return h.out }
+
+// Send stamps the packet with the host address and pushes it onto the
+// output link.
+func (h *Host) Send(pkt *Packet) {
+	if h.out == nil {
+		panic(fmt.Sprintf("netsim: host %q has no output link", h.name))
+	}
+	pkt.Src = h.id
+	h.out.Enqueue(pkt)
+}
+
+// Deliver implements Node.
+func (h *Host) Deliver(pkt *Packet) {
+	if h.handler == nil {
+		panic(fmt.Sprintf("netsim: host %q has no handler", h.name))
+	}
+	h.handler(pkt)
+}

@@ -1,0 +1,83 @@
+package netsim
+
+import "time"
+
+// FlowID identifies a transport flow within a simulation.
+type FlowID int
+
+// PacketKind distinguishes data segments from ACKs on the wire. The
+// simulator itself treats both identically (bytes through queues); the
+// kind exists so endpoints can dispatch and tooling can filter.
+type PacketKind uint8
+
+const (
+	// Data carries application payload from sender to receiver.
+	Data PacketKind = iota
+	// Ack flows from receiver back to sender.
+	Ack
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	default:
+		return "unknown"
+	}
+}
+
+// Packet is the unit moved through links and routers. Transport
+// endpoints populate the header fields they need; the network layer
+// only reads Size, Dst and (for tracing) Flow/Kind.
+type Packet struct {
+	Flow FlowID
+	Kind PacketKind
+
+	// Size is the wire size in bytes, including all headers.
+	Size int
+
+	// Src and Dst are node addresses used by routers.
+	Src, Dst NodeID
+
+	// Seq is the first byte sequence number carried (data) or a pure
+	// transmission counter (ACK retransmits).
+	Seq int64
+	// Len is the payload length in bytes for data packets.
+	Len int64
+	// CumAck is the cumulative acknowledgment: every byte below it has
+	// been received. Valid for Kind == Ack.
+	CumAck int64
+	// SACK holds up to three selective-ack ranges above CumAck.
+	SACK []SackRange
+	// EchoTS echoes the sender's departure timestamp so the sender can
+	// take an RTT sample without keeping per-packet state. Retransmitted
+	// segments clear it (Karn's rule).
+	EchoTS time.Duration
+	// HasEcho reports whether EchoTS is valid.
+	HasEcho bool
+	// Retrans marks a retransmitted data segment.
+	Retrans bool
+
+	// SentAt is stamped by the sending endpoint when the packet enters
+	// the first link. Used for tracing only.
+	SentAt time.Duration
+}
+
+// SackRange is a half-open received range [Start, End) above the
+// cumulative ACK point.
+type SackRange struct {
+	Start, End int64
+}
+
+// NodeID addresses a node (host or router) in the topology.
+type NodeID int
+
+// Node consumes packets delivered by links.
+type Node interface {
+	// ID returns the node's address.
+	ID() NodeID
+	// Deliver hands the node a packet that has fully arrived.
+	Deliver(pkt *Packet)
+}

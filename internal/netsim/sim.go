@@ -1,0 +1,171 @@
+// Package netsim implements a deterministic discrete-event network
+// simulator: an event loop with a virtual clock, links with finite
+// rate, propagation delay and drop-tail queues, routers, hosts, and
+// topology builders (multi-hop paths and dumbbells).
+//
+// The simulator is single-threaded. All component callbacks run inside
+// Simulator.Run, ordered by virtual time with FIFO tie-breaking, so no
+// locking is needed anywhere in the stack built on top of it.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Simulator owns the virtual clock and the pending-event queue.
+// The zero value is not ready for use; call NewSimulator.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64 // insertion counter for deterministic FIFO tie-break
+	halted bool
+
+	// Stop condition: if stopWhen is non-nil it is checked after every
+	// event; Run returns early once it reports true.
+	stopWhen func() bool
+}
+
+// NewSimulator returns a simulator with the clock at zero and an empty
+// event queue.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// timer is a handle to a scheduled event that can be cancelled.
+type timer struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 when popped
+}
+
+// Timer is the public cancellable handle returned by Schedule.
+type Timer struct{ t *timer }
+
+// Stop cancels the timer. Stopping an already-fired or already-stopped
+// timer is a no-op. It reports whether the call prevented the event
+// from firing.
+func (t Timer) Stop() bool {
+	if t.t == nil || t.t.stopped || t.t.index == -1 {
+		return false
+	}
+	t.t.stopped = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t Timer) Active() bool {
+	return t.t != nil && !t.t.stopped && t.t.index != -1
+}
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero (fn runs at the current time, after already-queued
+// events for this instant). The returned Timer can cancel the event.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past
+// are clamped to now.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("netsim: ScheduleAt with nil fn")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	t := &timer{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, t)
+	return Timer{t}
+}
+
+// StopWhen installs a predicate checked after every event; when it
+// returns true, Run returns. Pass nil to clear.
+func (s *Simulator) StopWhen(pred func() bool) { s.stopWhen = pred }
+
+// Halt stops the run loop after the current event completes.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Run executes events in time order until the queue drains, the clock
+// passes until, Halt is called, or the StopWhen predicate fires.
+// It returns the virtual time at which it stopped.
+func (s *Simulator) Run(until time.Duration) time.Duration {
+	s.halted = false
+	for len(s.events) > 0 && !s.halted {
+		next := s.events[0]
+		if next.at > until {
+			s.now = until
+			return s.now
+		}
+		heap.Pop(&s.events)
+		if next.stopped {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		if s.stopWhen != nil && s.stopWhen() {
+			break
+		}
+	}
+	return s.now
+}
+
+// RunAll executes events until the queue drains (or Halt/StopWhen).
+// It is Run with an effectively infinite horizon.
+func (s *Simulator) RunAll() time.Duration {
+	return s.Run(time.Duration(math.MaxInt64))
+}
+
+// Pending returns the number of events still queued (including
+// cancelled timers not yet popped).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// eventHeap is a min-heap ordered by (time, insertion sequence).
+type eventHeap []*timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	t := x.(*timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *Simulator) String() string {
+	return fmt.Sprintf("netsim.Simulator{now: %v, pending: %d}", s.now, len(s.events))
+}

@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	s := NewSimulator()
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	s.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := NewSimulator()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var times []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		times = append(times, s.Now())
+		s.Schedule(time.Millisecond, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.RunAll()
+	if len(times) != 2 || times[0] != time.Millisecond || times[1] != 2*time.Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	tm := s.Schedule(time.Millisecond, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report cancellation")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should be a no-op")
+	}
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	s.Schedule(100*time.Millisecond, func() { fired = true })
+	end := s.Run(50 * time.Millisecond)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if end != 50*time.Millisecond {
+		t.Fatalf("Run returned %v, want 50ms", end)
+	}
+	// The event must still fire on a later Run.
+	s.RunAll()
+	if !fired {
+		t.Fatal("event lost after horizon-limited Run")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	for i := 0; i < 5; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 2 {
+				s.Halt()
+			}
+		})
+	}
+	s.RunAll()
+	if count != 2 {
+		t.Fatalf("ran %d events after Halt, want 2", count)
+	}
+}
+
+func TestStopWhen(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.StopWhen(func() bool { return count >= 3 })
+	s.RunAll()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	s := NewSimulator()
+	s.Schedule(time.Millisecond, func() {
+		at := s.Now()
+		s.Schedule(-time.Second, func() {
+			if s.Now() != at {
+				t.Errorf("negative delay ran at %v, want %v", s.Now(), at)
+			}
+		})
+	})
+	s.RunAll()
+}
+
+// Property: for any set of delays, events fire in sorted order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		if len(delaysMs) == 0 {
+			return true
+		}
+		s := NewSimulator()
+		var fired []time.Duration
+		for _, d := range delaysMs {
+			d := time.Duration(d) * time.Millisecond
+			s.Schedule(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.RunAll()
+		if len(fired) != len(delaysMs) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving Run horizons never reorders or drops events.
+func TestSplitRunEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		delays := make([]time.Duration, count)
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(1000)) * time.Millisecond
+		}
+
+		runOne := func(split bool) []time.Duration {
+			s := NewSimulator()
+			var fired []time.Duration
+			for _, d := range delays {
+				d := d
+				s.Schedule(d, func() { fired = append(fired, s.Now()) })
+			}
+			if split {
+				for h := time.Duration(0); h <= time.Second; h += 100 * time.Millisecond {
+					s.Run(h)
+				}
+			}
+			s.RunAll()
+			return fired
+		}
+
+		a, b := runOne(false), runOne(true)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

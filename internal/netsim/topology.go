@@ -1,0 +1,194 @@
+package netsim
+
+import "fmt"
+
+// PathSpec describes a linear sender→receiver path of one or more
+// links. ACKs travel the Reverse chain; when Reverse is nil a mirror
+// of Forward is used (same rates and delays, generous queues) so that
+// the return path is never the bottleneck unless asked for.
+type PathSpec struct {
+	Forward []LinkConfig
+	Reverse []LinkConfig
+}
+
+// Path is a wired linear topology.
+type Path struct {
+	Sim      *Simulator
+	Sender   *Host
+	Receiver *Host
+	Fwd      []*Link
+	Rev      []*Link
+	Routers  []*Router
+}
+
+// Bottleneck returns the forward link with the lowest configured fixed
+// rate; links using rate models are compared by their rate at time 0.
+func (p *Path) Bottleneck() *Link {
+	var best *Link
+	for _, l := range p.Fwd {
+		if best == nil || l.RateAt(0) < best.RateAt(0) {
+			best = l
+		}
+	}
+	return best
+}
+
+// NewPath wires the linear topology
+//
+//	sender → fwd[0] → R0 → fwd[1] → … → fwd[n-1] → receiver
+//
+// with the mirrored reverse chain through the same routers.
+func NewPath(sim *Simulator, spec PathSpec) *Path {
+	n := len(spec.Forward)
+	if n == 0 {
+		panic("netsim: NewPath needs at least one forward link")
+	}
+	rev := spec.Reverse
+	if rev == nil {
+		rev = make([]LinkConfig, n)
+		for i, c := range spec.Forward {
+			rc := c
+			rc.Name = c.Name + "-rev"
+			rc.QueueBytes = 4 << 20
+			rev[n-1-i] = rc
+		}
+	}
+	if len(rev) != n {
+		panic("netsim: reverse chain must have the same number of links as forward")
+	}
+
+	p := &Path{Sim: sim}
+	var id NodeID
+	next := func() NodeID { id++; return id }
+
+	p.Sender = NewHost(next(), "sender")
+	p.Receiver = NewHost(next(), "receiver")
+	for i := 0; i < n-1; i++ {
+		p.Routers = append(p.Routers, NewRouter(next(), fmt.Sprintf("r%d", i)))
+	}
+
+	// Forward chain.
+	p.Fwd = make([]*Link, n)
+	for i := n - 1; i >= 0; i-- {
+		var dst Node
+		if i == n-1 {
+			dst = p.Receiver
+		} else {
+			dst = p.Routers[i]
+		}
+		p.Fwd[i] = NewLink(sim, spec.Forward[i], dst)
+	}
+	p.Sender.SetOutput(p.Fwd[0])
+	for i, r := range p.Routers {
+		r.AddRoute(p.Receiver.ID(), p.Fwd[i+1])
+	}
+
+	// Reverse chain: receiver → rev[0] → R(n-2) → … → rev[n-1] → sender.
+	p.Rev = make([]*Link, n)
+	for i := n - 1; i >= 0; i-- {
+		var dst Node
+		if i == n-1 {
+			dst = p.Sender
+		} else {
+			dst = p.Routers[n-2-i]
+		}
+		p.Rev[i] = NewLink(sim, rev[i], dst)
+	}
+	p.Receiver.SetOutput(p.Rev[0])
+	for i, r := range p.Routers {
+		r.AddRoute(p.Sender.ID(), p.Rev[n-1-i])
+	}
+	return p
+}
+
+// DumbbellSpec describes the classic n-pair dumbbell: n servers on the
+// left, n clients on the right, two routers joined by a shared
+// bottleneck. Data flows server→client.
+type DumbbellSpec struct {
+	Pairs int
+	// Access configures every server→router and router→client edge
+	// link; it should be much faster than the bottleneck. AccessDelay
+	// may be overridden per pair with PairDelay to give flows
+	// different minRTTs.
+	Access LinkConfig
+	// PairDelay, when non-nil, returns the one-way access propagation
+	// delay for pair i (applied on the client-side access link in both
+	// directions). Nil means Access.Delay everywhere.
+	PairDelay func(i int) LinkConfig
+	// Bottleneck configures the shared R1→R2 link (and its mirror).
+	Bottleneck LinkConfig
+}
+
+// Dumbbell is the constructed topology.
+type Dumbbell struct {
+	Sim        *Simulator
+	Servers    []*Host
+	Clients    []*Host
+	Left       *Router // server side
+	Right      *Router // client side
+	Bottleneck *Link   // left→right, the congested direction
+	RevBneck   *Link   // right→left (ACK path)
+}
+
+// NewDumbbell wires the topology. Every server i sends to client i.
+func NewDumbbell(sim *Simulator, spec DumbbellSpec) *Dumbbell {
+	if spec.Pairs <= 0 {
+		panic("netsim: dumbbell needs at least one pair")
+	}
+	d := &Dumbbell{Sim: sim}
+	var id NodeID
+	next := func() NodeID { id++; return id }
+
+	d.Left = NewRouter(next(), "left")
+	d.Right = NewRouter(next(), "right")
+
+	bcfg := spec.Bottleneck
+	if bcfg.Name == "" {
+		bcfg.Name = "bottleneck"
+	}
+	d.Bottleneck = NewLink(sim, bcfg, d.Right)
+	rcfg := bcfg
+	rcfg.Name = bcfg.Name + "-rev"
+	rcfg.QueueBytes = 4 << 20 // ACK path should not drop
+	d.RevBneck = NewLink(sim, rcfg, d.Left)
+
+	for i := 0; i < spec.Pairs; i++ {
+		srv := NewHost(next(), fmt.Sprintf("server%d", i))
+		cli := NewHost(next(), fmt.Sprintf("client%d", i))
+		d.Servers = append(d.Servers, srv)
+		d.Clients = append(d.Clients, cli)
+
+		acc := spec.Access
+		if spec.PairDelay != nil {
+			acc = spec.PairDelay(i)
+		}
+		if acc.Name == "" {
+			acc.Name = fmt.Sprintf("access%d", i)
+		}
+
+		// server → left router
+		up := acc
+		up.Name = fmt.Sprintf("%s-srv-up", acc.Name)
+		srv.SetOutput(NewLink(sim, up, d.Left))
+
+		// right router → client
+		down := acc
+		down.Name = fmt.Sprintf("%s-cli-down", acc.Name)
+		d.Right.AddRoute(cli.ID(), NewLink(sim, down, cli))
+
+		// client → right router
+		cup := acc
+		cup.Name = fmt.Sprintf("%s-cli-up", acc.Name)
+		cli.SetOutput(NewLink(sim, cup, d.Right))
+
+		// left router → server (ACK delivery)
+		sdown := acc
+		sdown.Name = fmt.Sprintf("%s-srv-down", acc.Name)
+		d.Left.AddRoute(srv.ID(), NewLink(sim, sdown, srv))
+
+		// Cross-router routes go through the shared bottleneck.
+		d.Left.AddRoute(cli.ID(), d.Bottleneck)
+		d.Right.AddRoute(srv.ID(), d.RevBneck)
+	}
+	return d
+}

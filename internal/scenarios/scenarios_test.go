@@ -1,0 +1,148 @@
+package scenarios
+
+import (
+	"testing"
+	"time"
+
+	"suss/internal/netem"
+	"suss/internal/netsim"
+)
+
+func TestAllMatrixShape(t *testing.T) {
+	all := All(1)
+	if len(all) != 28 {
+		t.Fatalf("got %d scenarios, want 28", len(all))
+	}
+	seen := map[string]bool{}
+	for _, sc := range all {
+		if seen[sc.Name()] {
+			t.Errorf("duplicate scenario %s", sc.Name())
+		}
+		seen[sc.Name()] = true
+		if sc.RTT <= 0 {
+			t.Errorf("%s: non-positive RTT", sc.Name())
+		}
+		if sc.BtlBw() <= 0 {
+			t.Errorf("%s: non-positive BtlBw", sc.Name())
+		}
+	}
+}
+
+func TestScenarioIDs(t *testing.T) {
+	sc := New(GoogleTokyo, netem.LTE4G, 1)
+	if sc.ID() != "b4" {
+		t.Errorf("Tokyo/4G ID = %s, want b4", sc.ID())
+	}
+	sc = New(GoogleUSEast, netem.NR5G, 1)
+	if sc.ID() != "a1" {
+		t.Errorf("US-East/5G ID = %s, want a1", sc.ID())
+	}
+	sc = New(NZCampus, netem.LTE4G, 1)
+	if sc.ID() != "g4" {
+		t.Errorf("NZ/4G ID = %s, want g4", sc.ID())
+	}
+}
+
+func TestClientSideRTTs(t *testing.T) {
+	// The 5G/wired client is in Sweden, WiFi/4G in NZ: Sydney must be
+	// far from Sweden and close to NZ.
+	syd5g := New(OracleSydney, netem.NR5G, 1)
+	syd4g := New(OracleSydney, netem.LTE4G, 1)
+	if syd5g.RTT <= syd4g.RTT {
+		t.Errorf("Sydney: Sweden RTT %v should exceed NZ RTT %v", syd5g.RTT, syd4g.RTT)
+	}
+	lon5g := New(OracleLondon, netem.NR5G, 1)
+	lon4g := New(OracleLondon, netem.LTE4G, 1)
+	if lon5g.RTT >= lon4g.RTT {
+		t.Errorf("London: Sweden RTT %v should be below NZ RTT %v", lon5g.RTT, lon4g.RTT)
+	}
+}
+
+func TestScenarioBuildRoundTrip(t *testing.T) {
+	sim := netsim.NewSimulator()
+	sc := New(GoogleTokyo, netem.Wired, 42)
+	p, rng := sc.Build(sim)
+	if rng == nil {
+		t.Fatal("nil rng")
+	}
+	var rtt time.Duration
+	p.Receiver.SetHandler(func(pkt *netsim.Packet) {
+		p.Receiver.Send(&netsim.Packet{Kind: netsim.Ack, Size: 60, Dst: p.Sender.ID()})
+	})
+	p.Sender.SetHandler(func(*netsim.Packet) { rtt = sim.Now() })
+	sim.Schedule(0, func() {
+		p.Sender.Send(&netsim.Packet{Kind: netsim.Data, Size: 1500, Dst: p.Receiver.ID()})
+	})
+	sim.RunAll()
+	if rtt < sc.RTT || rtt > sc.RTT+20*time.Millisecond {
+		t.Errorf("measured RTT %v, want ≈%v", rtt, sc.RTT)
+	}
+}
+
+func TestScenarioWirelessHasImpairments(t *testing.T) {
+	sim := netsim.NewSimulator()
+	sc := New(GoogleUSEast, netem.LTE4G, 7)
+	p, _ := sc.Build(sim)
+	last := p.Fwd[len(p.Fwd)-1]
+	r0 := last.RateAt(0)
+	varies := false
+	for at := time.Duration(0); at < 10*time.Second; at += 100 * time.Millisecond {
+		if last.RateAt(at) != r0 {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Error("4G last hop rate never varies")
+	}
+}
+
+func TestTestbedBuild(t *testing.T) {
+	sim := netsim.NewSimulator()
+	tb := DefaultTestbed(100*time.Millisecond, 1)
+	d := tb.Build(sim)
+	if len(d.Servers) != 5 {
+		t.Fatalf("pairs = %d", len(d.Servers))
+	}
+	// Buffer = 1 BDP of 50 Mbps × 100 ms = 625 KB.
+	want := int(5e7 / 8 * 0.1)
+	if d.Bottleneck.QueueLimit() != want {
+		t.Errorf("buffer = %d, want %d", d.Bottleneck.QueueLimit(), want)
+	}
+	// Round-trip via pair 0 ≈ RTT.
+	var rtt time.Duration
+	d.Clients[0].SetHandler(func(pkt *netsim.Packet) {
+		d.Clients[0].Send(&netsim.Packet{Kind: netsim.Ack, Size: 60, Dst: d.Servers[0].ID()})
+	})
+	d.Servers[0].SetHandler(func(*netsim.Packet) { rtt = sim.Now() })
+	sim.Schedule(0, func() {
+		d.Servers[0].Send(&netsim.Packet{Kind: netsim.Data, Size: 1500, Dst: d.Clients[0].ID()})
+	})
+	sim.RunAll()
+	if rtt < 95*time.Millisecond || rtt > 110*time.Millisecond {
+		t.Errorf("testbed RTT = %v, want ≈100ms", rtt)
+	}
+}
+
+func TestTestbedPerPairRTT(t *testing.T) {
+	sim := netsim.NewSimulator()
+	tb := DefaultTestbed(100*time.Millisecond, 1)
+	tb.PerPairRTT = []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	d := tb.Build(sim)
+	measure := func(i int) time.Duration {
+		var rtt time.Duration
+		d.Clients[i].SetHandler(func(pkt *netsim.Packet) {
+			d.Clients[i].Send(&netsim.Packet{Kind: netsim.Ack, Size: 60, Dst: d.Servers[i].ID()})
+		})
+		d.Servers[i].SetHandler(func(*netsim.Packet) { rtt = sim.Now() - 0 })
+		start := sim.Now()
+		d.Servers[i].Send(&netsim.Packet{Kind: netsim.Data, Size: 1500, Dst: d.Clients[i].ID()})
+		sim.RunAll()
+		return rtt - start
+	}
+	r0 := measure(0)
+	r1 := measure(1)
+	if r1-r0 < 80*time.Millisecond {
+		t.Errorf("per-pair RTTs not applied: %v vs %v", r0, r1)
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almost(StdDev(xs), 2) {
+		t.Errorf("StdDev = %v, want 2", StdDev(xs))
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of singleton should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almost(Percentile(xs, 0), 1) || !almost(Percentile(xs, 100), 5) {
+		t.Error("extremes wrong")
+	}
+	if !almost(Percentile(xs, 50), 3) {
+		t.Errorf("P50 = %v", Percentile(xs, 50))
+	}
+	if !almost(Percentile(xs, 25), 2) {
+		t.Errorf("P25 = %v", Percentile(xs, 25))
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if !almost(JainIndex([]float64{10, 10, 10, 10}), 1) {
+		t.Error("equal shares must give F=1")
+	}
+	// One flow hogging everything among n: F = 1/n.
+	if !almost(JainIndex([]float64{100, 0, 0, 0}), 0.25) {
+		t.Errorf("F = %v, want 0.25", JainIndex([]float64{100, 0, 0, 0}))
+	}
+	if JainIndex(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+// Property: Jain's index is scale-invariant and bounded in [1/n, 1].
+func TestJainIndexProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*100 + 0.001
+		}
+		fidx := JainIndex(xs)
+		if fidx < 1/float64(n)-1e-9 || fidx > 1+1e-9 {
+			return false
+		}
+		scaled := make([]float64, n)
+		for i := range xs {
+			scaled[i] = xs[i] * 42
+		}
+		return almost(fidx, JainIndex(scaled))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.Min, 1) || !almost(s.Max, 5) || !almost(s.P50, 3) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestBinnedCounter(t *testing.T) {
+	b := NewBinnedCounter(time.Second)
+	b.Add(100*time.Millisecond, 10)
+	b.Add(900*time.Millisecond, 5)
+	b.Add(2500*time.Millisecond, 7)
+	bins := b.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if bins[0] != 15 || bins[1] != 0 || bins[2] != 7 {
+		t.Errorf("bins = %v", bins)
+	}
+	rates := b.Rate()
+	if rates[0] != 15 {
+		t.Errorf("rate[0] = %v", rates[0])
+	}
+}
+
+func TestJainOverTime(t *testing.T) {
+	a := NewBinnedCounter(time.Second)
+	c := NewBinnedCounter(time.Second)
+	a.Add(0, 10)
+	c.Add(0, 10)
+	a.Add(time.Second, 20)
+	c.Add(time.Second, 0) // flow b idle in bin 1
+	series := JainOverTime([]*BinnedCounter{a, c}, true)
+	if !almost(series[0], 1) {
+		t.Errorf("bin0 F = %v, want 1", series[0])
+	}
+	if !almost(series[1], 0.5) {
+		t.Errorf("bin1 F = %v, want 0.5 (one starved of two)", series[1])
+	}
+	active := JainOverTime([]*BinnedCounter{a, c}, false)
+	if !almost(active[1], 1) {
+		t.Errorf("active-only bin1 F = %v, want 1", active[1])
+	}
+}
+
+func TestDurationsToSeconds(t *testing.T) {
+	out := DurationsToSeconds([]time.Duration{time.Second, 500 * time.Millisecond})
+	if out[0] != 1 || out[1] != 0.5 {
+		t.Errorf("out = %v", out)
+	}
+}

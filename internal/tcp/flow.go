@@ -1,0 +1,83 @@
+package tcp
+
+import (
+	"time"
+
+	"suss/internal/cc"
+	"suss/internal/netsim"
+)
+
+// Demux dispatches packets delivered to a host among the flows
+// terminating there, so several flows can share one host (the paper's
+// Fig. 16 workload reuses client-server pairs for sequential flows).
+type Demux struct {
+	handlers map[netsim.FlowID]func(*netsim.Packet)
+}
+
+// NewDemux installs a demultiplexer as the host's packet handler.
+func NewDemux(host *netsim.Host) *Demux {
+	d := &Demux{handlers: make(map[netsim.FlowID]func(*netsim.Packet))}
+	host.SetHandler(func(pkt *netsim.Packet) {
+		if fn, ok := d.handlers[pkt.Flow]; ok {
+			fn(pkt)
+		}
+	})
+	return d
+}
+
+// Register routes packets of flow id to fn, replacing any previous
+// registration.
+func (d *Demux) Register(id netsim.FlowID, fn func(*netsim.Packet)) {
+	d.handlers[id] = fn
+}
+
+// Unregister removes a flow's handler.
+func (d *Demux) Unregister(id netsim.FlowID) { delete(d.handlers, id) }
+
+// Flow bundles a sender and receiver wired across a topology.
+type Flow struct {
+	ID       netsim.FlowID
+	Sender   *Sender
+	Receiver *Receiver
+
+	// CompletedAt is the receiver-side completion time (when the last
+	// byte arrived), the paper's FCT definition for downloads. Zero
+	// until complete.
+	CompletedAt time.Duration
+	startAt     time.Duration
+}
+
+// NewFlow wires a sender on srcHost and a receiver on dstHost for a
+// size-byte transfer, registering both with the given demuxes.
+func NewFlow(sim *netsim.Simulator, cfg Config, id netsim.FlowID,
+	srcHost *netsim.Host, srcMux *Demux,
+	dstHost *netsim.Host, dstMux *Demux,
+	size int64, ctrl cc.Controller) *Flow {
+
+	f := &Flow{ID: id}
+	f.Sender = NewSender(sim, srcHost, cfg, id, dstHost.ID(), size, ctrl)
+	f.Receiver = NewReceiver(sim, dstHost, cfg, id, srcHost.ID(), size)
+	f.Receiver.OnComplete = func(now time.Duration) { f.CompletedAt = now }
+	srcMux.Register(id, f.Sender.HandleAck)
+	dstMux.Register(id, f.Receiver.Handle)
+	return f
+}
+
+// StartAt schedules the flow to begin at virtual time at.
+func (f *Flow) StartAt(sim *netsim.Simulator, at time.Duration) {
+	f.startAt = at
+	sim.ScheduleAt(at, f.Sender.Start)
+}
+
+// FCT returns the receiver-side flow completion time (download FCT):
+// time from the flow's start to the arrival of its last byte. Zero
+// until complete.
+func (f *Flow) FCT() time.Duration {
+	if f.CompletedAt == 0 {
+		return 0
+	}
+	return f.CompletedAt - f.startAt
+}
+
+// Done reports whether the receiver holds the complete stream.
+func (f *Flow) Done() bool { return f.CompletedAt != 0 }

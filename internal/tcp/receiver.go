@@ -1,0 +1,203 @@
+package tcp
+
+import (
+	"time"
+
+	"suss/internal/netsim"
+)
+
+// Receiver reassembles the byte stream and generates cumulative ACKs
+// with up to three SACK ranges, acknowledging every packet (or every
+// n-th with a delayed-ACK timer) and immediately on out-of-order data.
+type Receiver struct {
+	sim  *netsim.Simulator
+	host *netsim.Host
+	cfg  Config
+	flow netsim.FlowID
+	peer netsim.NodeID
+
+	ranges []netsim.SackRange // sorted, disjoint received ranges
+	// recentSacks remembers the ranges most recently extended, newest
+	// first, to fill SACK blocks the way RFC 2018 recommends.
+	recentSacks []netsim.SackRange
+
+	unacked  int // in-order packets since last ACK (for AckEvery)
+	delack   netsim.Timer
+	received int64 // total payload bytes accepted (with duplicates removed)
+
+	// OnComplete fires once when the contiguous prefix reaches size.
+	OnComplete func(now time.Duration)
+	size       int64
+	completed  bool
+
+	// OnData, when non-nil, observes every data arrival (tracing).
+	OnData func(now time.Duration, pkt *netsim.Packet)
+}
+
+// NewReceiver creates a receiver for one flow terminating at host.
+// size is the expected stream length for completion detection (0
+// disables it). The caller must route the flow's data packets to
+// Handle (see Demux).
+func NewReceiver(sim *netsim.Simulator, host *netsim.Host, cfg Config, flow netsim.FlowID, peer netsim.NodeID, size int64) *Receiver {
+	return &Receiver{sim: sim, host: host, cfg: cfg, flow: flow, peer: peer, size: size}
+}
+
+// CumAck returns the current cumulative acknowledgment point.
+func (r *Receiver) CumAck() int64 {
+	if len(r.ranges) == 0 || r.ranges[0].Start != 0 {
+		return 0
+	}
+	return r.ranges[0].End
+}
+
+// Received returns the distinct payload bytes accepted so far.
+func (r *Receiver) Received() int64 { return r.received }
+
+// Handle processes one data packet addressed to this flow.
+func (r *Receiver) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	if r.OnData != nil {
+		r.OnData(r.sim.Now(), pkt)
+	}
+	prevCum := r.CumAck()
+	added := r.merge(pkt.Seq, pkt.Seq+pkt.Len)
+	r.received += added
+	newCum := r.CumAck()
+
+	if !r.completed && r.size > 0 && newCum >= r.size {
+		r.completed = true
+		if r.OnComplete != nil {
+			r.OnComplete(r.sim.Now())
+		}
+	}
+
+	outOfOrder := newCum == prevCum || len(r.ranges) > 1
+	r.unacked++
+	if outOfOrder || r.unacked >= r.cfg.AckEvery {
+		r.sendAck(pkt)
+		return
+	}
+	// Withhold the ACK but bound the delay.
+	if !r.delack.Active() {
+		r.delack = r.sim.Schedule(r.cfg.DelAckTimeout, func() { r.sendAck(nil) })
+	}
+}
+
+func (r *Receiver) sendAck(trigger *netsim.Packet) {
+	r.unacked = 0
+	r.delack.Stop()
+	ack := &netsim.Packet{
+		Flow:   r.flow,
+		Kind:   netsim.Ack,
+		Size:   r.cfg.AckBytes,
+		Dst:    r.peer,
+		CumAck: r.CumAck(),
+		SACK:   r.sackBlocks(),
+	}
+	if trigger != nil && trigger.HasEcho {
+		ack.EchoTS = trigger.EchoTS
+		ack.HasEcho = true
+	}
+	r.host.Send(ack)
+}
+
+// sackBlocks returns up to three ranges above the cumulative ACK,
+// most recently changed first.
+func (r *Receiver) sackBlocks() []netsim.SackRange {
+	cum := r.CumAck()
+	var out []netsim.SackRange
+	for _, s := range r.recentSacks {
+		if s.End <= cum {
+			continue
+		}
+		// Re-resolve against current ranges (merges may have grown it).
+		if cur, ok := r.containing(s.Start); ok && cur.End > cum {
+			dup := false
+			for _, o := range out {
+				if o == cur {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, cur)
+			}
+		}
+		if len(out) == 3 {
+			break
+		}
+	}
+	return out
+}
+
+func (r *Receiver) containing(seq int64) (netsim.SackRange, bool) {
+	for _, g := range r.ranges {
+		if g.Start <= seq && seq < g.End {
+			return g, true
+		}
+	}
+	return netsim.SackRange{}, false
+}
+
+// merge inserts [start,end) into the received set and returns the
+// number of bytes that were new.
+func (r *Receiver) merge(start, end int64) int64 {
+	if end <= start {
+		return 0
+	}
+	var added int64
+	out := make([]netsim.SackRange, 0, len(r.ranges)+1)
+	cur := netsim.SackRange{Start: start, End: end}
+	added = end - start
+	inserted := false
+	for _, g := range r.ranges {
+		switch {
+		case g.End < cur.Start:
+			out = append(out, g)
+		case cur.End < g.Start:
+			if !inserted {
+				out = append(out, cur)
+				inserted = true
+			}
+			out = append(out, g)
+		default:
+			// Overlap: subtract the intersection from "added" and fold.
+			lo := max64(g.Start, cur.Start)
+			hi := min64(g.End, cur.End)
+			if hi > lo {
+				added -= hi - lo
+			}
+			cur.Start = min64(cur.Start, g.Start)
+			cur.End = max64(cur.End, g.End)
+		}
+	}
+	if !inserted {
+		out = append(out, cur)
+	}
+	r.ranges = out
+	if added < 0 {
+		added = 0
+	}
+	// Track recency for SACK block selection.
+	r.recentSacks = append([]netsim.SackRange{{Start: start, End: end}}, r.recentSacks...)
+	if len(r.recentSacks) > 8 {
+		r.recentSacks = r.recentSacks[:8]
+	}
+	return added
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"suss/internal/netsim"
+)
+
+// captureAcks wires a receiver whose ACKs are captured instead of
+// routed back through a sender.
+func captureAcks(t *testing.T) (*netsim.Simulator, *Receiver, *[]*netsim.Packet) {
+	t.Helper()
+	sim := netsim.NewSimulator()
+	p := newTestPath(sim, 1e9, time.Millisecond, 4<<20)
+	var acks []*netsim.Packet
+	p.Sender.SetHandler(func(pkt *netsim.Packet) { acks = append(acks, pkt) })
+	r := NewReceiver(sim, p.Receiver, DefaultConfig(), 1, p.Sender.ID(), 0)
+	return sim, r, &acks
+}
+
+func seg(seq int64) *netsim.Packet {
+	return &netsim.Packet{Kind: netsim.Data, Flow: 1, Seq: seq * 1448, Len: 1448, Size: 1500}
+}
+
+func TestReceiverSACKBlockLimit(t *testing.T) {
+	sim, r, acks := captureAcks(t)
+	sim.Schedule(0, func() {
+		// Four disjoint out-of-order islands: the ACK may carry at most
+		// three SACK ranges (RFC 2018).
+		for _, s := range []int64{2, 4, 6, 8} {
+			r.Handle(seg(s))
+		}
+	})
+	sim.RunAll()
+	last := (*acks)[len(*acks)-1]
+	if len(last.SACK) > 3 {
+		t.Fatalf("ACK carries %d SACK blocks, max is 3", len(last.SACK))
+	}
+	if last.CumAck != 0 {
+		t.Fatalf("cum ack %d, want 0 (nothing in order)", last.CumAck)
+	}
+	// The most recently received island must be the first block.
+	if len(last.SACK) == 0 || last.SACK[0].Start != 8*1448 {
+		t.Fatalf("first SACK block %v, want the freshest island (seq 8)", last.SACK)
+	}
+}
+
+func TestReceiverImmediateAckOnGap(t *testing.T) {
+	// Heavy delayed ACKs (every 4th packet): only out-of-order data may
+	// force an immediate ACK (dupack semantics).
+	sim := netsim.NewSimulator()
+	p := newTestPath(sim, 1e9, time.Millisecond, 4<<20)
+	var acks []*netsim.Packet
+	p.Sender.SetHandler(func(pkt *netsim.Packet) { acks = append(acks, pkt) })
+	cfg := DefaultConfig()
+	cfg.AckEvery = 4
+	r := NewReceiver(sim, p.Receiver, cfg, 1, p.Sender.ID(), 0)
+	sim.Schedule(0, func() {
+		r.Handle(seg(0)) // in-order: withheld (1 of 4)
+		r.Handle(seg(2)) // gap! must ACK immediately
+	})
+	sim.Run(10 * time.Millisecond)
+	if len(acks) == 0 {
+		t.Fatal("no immediate ACK on out-of-order arrival")
+	}
+}
+
+func TestReceiverDelAckTimeout(t *testing.T) {
+	sim := netsim.NewSimulator()
+	p := newTestPath(sim, 1e9, time.Millisecond, 4<<20)
+	var acks []*netsim.Packet
+	var ackAt []time.Duration
+	p.Sender.SetHandler(func(pkt *netsim.Packet) {
+		acks = append(acks, pkt)
+		ackAt = append(ackAt, sim.Now())
+	})
+	cfg := DefaultConfig()
+	cfg.AckEvery = 2
+	cfg.DelAckTimeout = 40 * time.Millisecond
+	r := NewReceiver(sim, p.Receiver, cfg, 1, p.Sender.ID(), 0)
+	sim.Schedule(0, func() { r.Handle(seg(0)) }) // single packet, withheld
+	sim.Run(time.Second)
+	if len(acks) != 1 {
+		t.Fatalf("acks = %d, want exactly 1 (delack timer)", len(acks))
+	}
+	// Fired by the timeout, not immediately.
+	if ackAt[0] < 35*time.Millisecond || ackAt[0] > 50*time.Millisecond {
+		t.Errorf("delack fired at %v, want ≈40ms", ackAt[0])
+	}
+	if acks[0].CumAck != 1448 {
+		t.Errorf("cum ack %d, want 1448", acks[0].CumAck)
+	}
+}
+
+func TestReceiverDuplicateDataNotDoubleCounted(t *testing.T) {
+	sim, r, _ := captureAcks(t)
+	sim.Schedule(0, func() {
+		r.Handle(seg(0))
+		r.Handle(seg(0)) // duplicate
+		r.Handle(seg(1))
+		r.Handle(seg(1)) // duplicate
+	})
+	sim.RunAll()
+	if got := r.Received(); got != 2*1448 {
+		t.Fatalf("received %d, want %d (duplicates must not count)", got, 2*1448)
+	}
+	if r.CumAck() != 2*1448 {
+		t.Fatalf("cum ack %d", r.CumAck())
+	}
+}
+
+func TestReceiverCompletionFiresOnce(t *testing.T) {
+	sim := netsim.NewSimulator()
+	p := newTestPath(sim, 1e9, time.Millisecond, 4<<20)
+	p.Sender.SetHandler(func(*netsim.Packet) {})
+	r := NewReceiver(sim, p.Receiver, DefaultConfig(), 1, p.Sender.ID(), 2*1448)
+	fired := 0
+	r.OnComplete = func(time.Duration) { fired++ }
+	sim.Schedule(0, func() {
+		r.Handle(seg(0))
+		r.Handle(seg(1))
+		r.Handle(seg(1)) // extra duplicate after completion
+	})
+	sim.RunAll()
+	if fired != 1 {
+		t.Fatalf("OnComplete fired %d times, want 1", fired)
+	}
+}
+
+func TestReceiverEchoOnlyFromFreshData(t *testing.T) {
+	sim, r, acks := captureAcks(t)
+	sim.Schedule(0, func() {
+		fresh := seg(0)
+		fresh.HasEcho = true
+		fresh.EchoTS = 5 * time.Millisecond
+		r.Handle(fresh)
+		retrans := seg(1)
+		retrans.Retrans = true // sender cleared the echo per Karn
+		r.Handle(retrans)
+	})
+	sim.RunAll()
+	if len(*acks) != 2 {
+		t.Fatalf("acks = %d", len(*acks))
+	}
+	if !(*acks)[0].HasEcho || (*acks)[0].EchoTS != 5*time.Millisecond {
+		t.Error("fresh data's echo not reflected")
+	}
+	if (*acks)[1].HasEcho {
+		t.Error("retransmission without echo produced an echoed ACK")
+	}
+}

@@ -1,0 +1,726 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"suss/internal/cc"
+	"suss/internal/netsim"
+)
+
+// segment states for the scoreboard.
+type segState uint8
+
+const (
+	stInflight        segState = iota // sent, outcome unknown
+	stSacked                          // selectively acknowledged
+	stLost                            // presumed lost, awaiting retransmit
+	stRetransInFlight                 // retransmitted, outcome unknown
+)
+
+// segInfo is the per-segment scoreboard entry. sentAt and delivAtSend
+// support RFC-style delivery-rate sampling (BBR): a segment's rate
+// sample is (delivered_now − delivAtSend) / (now − sentAt).
+type segInfo struct {
+	st          segState
+	sentAt      time.Duration
+	delivAtSend int64
+	retrans     bool // ever retransmitted: rate samples are ambiguous
+}
+
+// SenderStats summarizes a flow from the sender's perspective.
+type SenderStats struct {
+	BytesSent       int64 // payload bytes, including retransmissions
+	SegmentsSent    int
+	Retransmissions int
+	RTOs            int
+	TLPs            int // tail loss probes sent
+	LossEvents      int // fast-retransmit congestion events
+	Delivered       int64
+}
+
+// EarliestSender is an optional controller extension: a controller may
+// gate transmissions until a future time (SUSS uses it for the guard
+// interval before its pacing period). Zero means "no gate".
+type EarliestSender interface {
+	EarliestSend(now time.Duration) time.Duration
+}
+
+// Sender drives one bulk flow of size bytes toward peer, under the
+// congestion controller ctrl. It implements cc.Env for the controller.
+type Sender struct {
+	sim  *netsim.Simulator
+	host *netsim.Host
+	cfg  Config
+	flow netsim.FlowID
+	peer netsim.NodeID
+	ctrl cc.Controller
+
+	size   int64
+	sndUna int64
+	sndNxt int64
+
+	state     map[int64]segInfo // segment start → state + rate-sample data
+	lostQueue []int64           // sorted segment starts pending retransmit
+	inflight  int64             // bytes presumed in the network
+
+	highestSacked int64
+	delivered     int64
+
+	// sackedIv is the merged set of SACKed intervals above sndUna, so
+	// repeated SACK blocks (which re-announce whole contiguous ranges)
+	// are processed only for their newly-covered parts.
+	sackedIv []netsim.SackRange
+	// holes are unresolved segment starts below highestSacked — the
+	// candidates for loss marking. holeScan is the swept boundary.
+	holes    map[int64]struct{}
+	holeScan int64
+
+	rtt    *rttEstimator
+	minRTT cc.MinRTTTracker
+
+	inRecovery  bool
+	recoveryEnd int64
+
+	rtoTimer    netsim.Timer
+	tlpTimer    netsim.Timer
+	tlpArmed    bool // a probe may fire for the current flight
+	kickTimer   netsim.Timer
+	nextRelease time.Duration
+
+	started  bool
+	finished bool
+	startAt  time.Duration
+	doneAt   time.Duration
+
+	stats SenderStats
+
+	// OnComplete fires once when every byte has been cumulatively
+	// acknowledged.
+	OnComplete func(now time.Duration)
+	// OnAckTrace, when non-nil, observes state after each processed
+	// ACK (for cwnd/RTT time series).
+	OnAckTrace func(now time.Duration, cwnd int64, srtt time.Duration, delivered int64)
+}
+
+// NewSender creates a sender for one flow originating at host.
+// The caller must route the flow's ACKs to HandleAck (see Demux).
+func NewSender(sim *netsim.Simulator, host *netsim.Host, cfg Config, flow netsim.FlowID, peer netsim.NodeID, size int64, ctrl cc.Controller) *Sender {
+	return &Sender{
+		sim:   sim,
+		host:  host,
+		cfg:   cfg,
+		flow:  flow,
+		peer:  peer,
+		ctrl:  ctrl,
+		size:  size,
+		state: make(map[int64]segInfo),
+		holes: make(map[int64]struct{}),
+		rtt:   newRTTEstimator(cfg.MinRTO, cfg.MaxRTO),
+	}
+}
+
+// --- cc.Env ---
+
+// Now implements cc.Env.
+func (s *Sender) Now() time.Duration { return s.sim.Now() }
+
+// Schedule implements cc.Env.
+func (s *Sender) Schedule(d time.Duration, fn func()) cc.Timer {
+	return s.sim.Schedule(d, fn)
+}
+
+// Kick implements cc.Env.
+func (s *Sender) Kick() { s.trySend() }
+
+// MSS implements cc.Env.
+func (s *Sender) MSS() int { return s.cfg.MSS }
+
+// --- public accessors ---
+
+// Stats returns a copy of the sender counters.
+func (s *Sender) Stats() SenderStats {
+	st := s.stats
+	st.Delivered = s.delivered
+	return st
+}
+
+// Controller returns the congestion controller driving this sender.
+func (s *Sender) Controller() cc.Controller { return s.ctrl }
+
+// SRTT returns the smoothed RTT estimate.
+func (s *Sender) SRTT() time.Duration { return s.rtt.SRTT() }
+
+// MinRTT returns the connection-lifetime minimum RTT.
+func (s *Sender) MinRTT() time.Duration { return s.minRTT.Get() }
+
+// Inflight returns bytes currently presumed in the network.
+func (s *Sender) Inflight() int64 { return s.inflight }
+
+// Finished reports whether every byte has been acknowledged.
+func (s *Sender) Finished() bool { return s.finished }
+
+// FCT returns the flow completion time (sender-side: start of
+// transmission to full acknowledgment). Zero until finished.
+func (s *Sender) FCT() time.Duration {
+	if !s.finished {
+		return 0
+	}
+	return s.doneAt - s.startAt
+}
+
+// Delivered returns total bytes delivered (cumulative + SACKed).
+func (s *Sender) Delivered() int64 { return s.delivered }
+
+// SetController installs the congestion controller. Controllers need
+// the sender as their cc.Env, so construction is two-phase: build the
+// flow with a nil controller, then install one before Start.
+func (s *Sender) SetController(ctrl cc.Controller) { s.ctrl = ctrl }
+
+// Start begins transmitting at the current virtual time.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	if s.ctrl == nil {
+		panic("tcp: Start before SetController")
+	}
+	s.started = true
+	s.startAt = s.sim.Now()
+	s.trySend()
+}
+
+// segLen returns the payload length of the segment starting at seg.
+func (s *Sender) segLen(seg int64) int64 {
+	l := int64(s.cfg.MSS)
+	if seg+l > s.size {
+		l = s.size - seg
+	}
+	return l
+}
+
+// --- transmission ---
+
+func (s *Sender) trySend() {
+	if !s.started || s.finished {
+		return
+	}
+	for {
+		var seg int64
+		retrans := false
+		switch {
+		case len(s.lostQueue) > 0:
+			seg = s.lostQueue[0]
+			retrans = true
+		case s.sndNxt < s.size:
+			seg = s.sndNxt
+		default:
+			s.armRTO()
+			return
+		}
+		l := s.segLen(seg)
+		if s.inflight+l > s.ctrl.CwndBytes() {
+			s.armRTO()
+			return
+		}
+		now := s.sim.Now()
+
+		// Controller-imposed earliest-send gate (SUSS guard interval).
+		if g, ok := s.ctrl.(EarliestSender); ok {
+			if at := g.EarliestSend(now); at > now {
+				s.armKick(at - now)
+				return
+			}
+		}
+		// Pacing gate.
+		if rate := s.ctrl.PacingRate(); rate > 0 {
+			if s.nextRelease > now {
+				s.armKick(s.nextRelease - now)
+				return
+			}
+			wireBits := float64((int(l) + s.cfg.HeaderBytes) * 8)
+			gap := time.Duration(wireBits / rate * float64(time.Second))
+			if s.nextRelease < now {
+				s.nextRelease = now
+			}
+			s.nextRelease += gap
+		}
+		s.emit(seg, l, retrans)
+	}
+}
+
+func (s *Sender) armKick(d time.Duration) {
+	if s.kickTimer.Active() {
+		return
+	}
+	s.kickTimer = s.sim.Schedule(d, s.trySend)
+	s.armRTO()
+}
+
+func (s *Sender) emit(seg, l int64, retrans bool) {
+	now := s.sim.Now()
+	pkt := &netsim.Packet{
+		Flow:   s.flow,
+		Kind:   netsim.Data,
+		Size:   int(l) + s.cfg.HeaderBytes,
+		Dst:    s.peer,
+		Seq:    seg,
+		Len:    l,
+		SentAt: now,
+	}
+	if retrans {
+		pkt.Retrans = true
+		s.removeFromLostQueue(seg)
+		s.state[seg] = segInfo{st: stRetransInFlight, sentAt: now, delivAtSend: s.delivered, retrans: true}
+		if seg+l <= s.highestSacked {
+			s.holes[seg] = struct{}{} // RACK may need to re-detect it
+		}
+		s.stats.Retransmissions++
+	} else {
+		// Karn's rule: only fresh transmissions carry an RTT echo.
+		pkt.EchoTS = now
+		pkt.HasEcho = true
+		s.state[seg] = segInfo{st: stInflight, sentAt: now, delivAtSend: s.delivered}
+		s.sndNxt = seg + l
+	}
+	s.inflight += l
+	s.stats.BytesSent += l
+	s.stats.SegmentsSent++
+	s.ctrl.OnPacketSent(now, int(l), seg, retrans)
+	s.host.Send(pkt)
+	s.armRTO()
+}
+
+// --- acknowledgment processing ---
+
+// HandleAck processes one ACK packet addressed to this flow.
+func (s *Sender) HandleAck(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Ack || s.finished || !s.started {
+		return
+	}
+	now := s.sim.Now()
+
+	var sample time.Duration
+	if pkt.HasEcho {
+		sample = now - pkt.EchoTS
+		s.rtt.Update(sample)
+		s.minRTT.Update(sample, now)
+	}
+
+	var newBytes int64
+	var bwSample float64 // freshest delivery-rate sample, bits/sec
+
+	rateSample := func(info segInfo) {
+		if info.retrans || info.sentAt >= now {
+			return
+		}
+		elapsed := (now - info.sentAt).Seconds()
+		bw := float64(s.delivered-info.delivAtSend) * 8 / elapsed
+		if bw > 0 {
+			bwSample = bw // later segments overwrite: freshest wins
+		}
+	}
+
+	// Cumulative advance.
+	if pkt.CumAck > s.sndUna {
+		for seg := segStart(s.sndUna, s.cfg.MSS); seg < pkt.CumAck; seg += int64(s.cfg.MSS) {
+			info, ok := s.state[seg]
+			if !ok {
+				continue
+			}
+			l := s.segLen(seg)
+			switch info.st {
+			case stInflight, stRetransInFlight:
+				s.inflight -= l
+				s.delivered += l
+				newBytes += l
+				rateSample(info)
+			case stLost:
+				s.removeFromLostQueue(seg)
+				s.delivered += l
+				newBytes += l
+			case stSacked:
+				// already counted
+			}
+			delete(s.state, seg)
+		}
+		s.sndUna = pkt.CumAck
+		for len(s.sackedIv) > 0 && s.sackedIv[0].End <= s.sndUna {
+			s.sackedIv = s.sackedIv[1:]
+		}
+		if len(s.sackedIv) > 0 && s.sackedIv[0].Start < s.sndUna {
+			s.sackedIv[0].Start = s.sndUna
+		}
+		if s.inRecovery && s.sndUna >= s.recoveryEnd {
+			s.inRecovery = false
+		}
+		s.tlpArmed = true // forward progress re-arms the probe allowance
+		s.resetRTO()
+	}
+
+	// Selective acknowledgments: process only the parts of each block
+	// not already known (blocks re-announce whole contiguous ranges on
+	// every ACK; rescanning them is quadratic).
+	for _, r := range pkt.SACK {
+		if r.Start < s.sndUna {
+			r.Start = s.sndUna
+		}
+		for _, nr := range s.addSackInterval(r) {
+			for seg := segStart(nr.Start, s.cfg.MSS); seg < nr.End; seg += int64(s.cfg.MSS) {
+				info, ok := s.state[seg]
+				if !ok || info.st == stSacked {
+					continue
+				}
+				l := s.segLen(seg)
+				// Only fully-covered segments count as SACKed.
+				if seg < nr.Start || seg+l > nr.End {
+					continue
+				}
+				switch info.st {
+				case stInflight, stRetransInFlight:
+					s.inflight -= l
+					rateSample(info)
+				case stLost:
+					s.removeFromLostQueue(seg)
+				}
+				info.st = stSacked
+				s.state[seg] = info
+				delete(s.holes, seg)
+				s.delivered += l
+				newBytes += l
+				if seg+l > s.highestSacked {
+					s.highestSacked = seg + l
+				}
+			}
+		}
+	}
+
+	// Loss detection (RFC 6675-style: DupThresh segments SACKed above).
+	newlyLost := s.detectLosses(now)
+	if newlyLost > 0 && !s.inRecovery {
+		s.inRecovery = true
+		s.recoveryEnd = s.sndNxt
+		s.stats.LossEvents++
+		s.ctrl.OnLoss(cc.LossEvent{
+			Now:       now,
+			Inflight:  s.inflight,
+			LostBytes: int(newlyLost),
+			SndNxt:    s.sndNxt,
+		})
+	}
+
+	// Completion.
+	if s.sndUna >= s.size {
+		if s.OnAckTrace != nil {
+			s.OnAckTrace(now, s.ctrl.CwndBytes(), s.rtt.SRTT(), s.delivered)
+		}
+		s.finish(now)
+		return
+	}
+
+	if newBytes > 0 {
+		s.ctrl.OnAck(cc.AckEvent{
+			Now:        now,
+			AckedBytes: int(newBytes),
+			CumAck:     s.sndUna,
+			SndNxt:     s.sndNxt,
+			RTT:        sample,
+			Inflight:   s.inflight,
+			Delivered:  s.delivered,
+			AppLimited: s.sndNxt >= s.size,
+			InRecovery: s.inRecovery,
+			BW:         bwSample,
+		})
+	}
+	if s.OnAckTrace != nil {
+		s.OnAckTrace(now, s.ctrl.CwndBytes(), s.rtt.SRTT(), s.delivered)
+	}
+	s.trySend()
+}
+
+// addSackInterval merges iv into the known-SACKed set and returns the
+// sub-intervals that were not previously covered.
+func (s *Sender) addSackInterval(iv netsim.SackRange) []netsim.SackRange {
+	if iv.End <= iv.Start {
+		return nil
+	}
+	var fresh []netsim.SackRange
+	out := make([]netsim.SackRange, 0, len(s.sackedIv)+1)
+	cur := iv
+	inserted := false
+	pos := cur.Start
+	for _, g := range s.sackedIv {
+		if g.End < cur.Start {
+			out = append(out, g)
+			continue
+		}
+		if cur.End < g.Start {
+			if !inserted {
+				if pos < cur.End {
+					fresh = append(fresh, netsim.SackRange{Start: pos, End: cur.End})
+					pos = cur.End
+				}
+				out = append(out, cur)
+				inserted = true
+			}
+			out = append(out, g)
+			continue
+		}
+		// Overlap: the gap before g (if any) is fresh coverage.
+		if pos < g.Start {
+			fresh = append(fresh, netsim.SackRange{Start: pos, End: min64(g.Start, cur.End)})
+		}
+		if g.End > pos {
+			pos = g.End
+		}
+		if g.Start < cur.Start {
+			cur.Start = g.Start
+		}
+		if g.End > cur.End {
+			cur.End = g.End
+		}
+	}
+	if !inserted {
+		if pos < cur.End {
+			fresh = append(fresh, netsim.SackRange{Start: pos, End: cur.End})
+		}
+		out = append(out, cur)
+	}
+	s.sackedIv = out
+	return fresh
+}
+
+func (s *Sender) removeFromLostQueue(seg int64) {
+	for i, v := range s.lostQueue {
+		if v == seg {
+			s.lostQueue = append(s.lostQueue[:i], s.lostQueue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Sender) detectLosses(now time.Duration) int64 {
+	if s.highestSacked <= s.sndUna {
+		return 0
+	}
+	// Sweep newly exposed territory below highestSacked into the hole
+	// candidate set (each segment is swept once, so detection is
+	// amortized O(1) per segment rather than O(window) per ACK).
+	start := segStart(s.sndUna, s.cfg.MSS)
+	if s.holeScan > start {
+		start = s.holeScan
+	}
+	for seg := start; seg < s.highestSacked && seg < s.sndNxt; seg += int64(s.cfg.MSS) {
+		if info, ok := s.state[seg]; ok && (info.st == stInflight || info.st == stRetransInFlight) {
+			s.holes[seg] = struct{}{}
+		}
+		s.holeScan = seg + int64(s.cfg.MSS)
+	}
+
+	var newly int64
+	thresh := int64(s.cfg.DupThresh) * int64(s.cfg.MSS)
+	// RACK-lite reordering window for re-detecting lost retransmissions:
+	// a retransmitted segment still unacknowledged well past an RTT,
+	// with DupThresh segments SACKed above it, was lost again. Without
+	// this, a retransmission dropped at a still-full buffer is only
+	// recoverable by RTO.
+	rackWindow := s.rtt.SRTT() + s.rtt.SRTT()/4 + 4*time.Millisecond
+	if s.rtt.SRTT() == 0 {
+		rackWindow = s.rtt.RTO()
+	}
+	for seg := range s.holes {
+		if seg < s.sndUna {
+			delete(s.holes, seg)
+			continue
+		}
+		info, ok := s.state[seg]
+		if !ok || info.st == stSacked || info.st == stLost {
+			delete(s.holes, seg)
+			continue
+		}
+		if seg+thresh > s.highestSacked {
+			continue
+		}
+		lost := info.st == stInflight ||
+			(info.st == stRetransInFlight && now-info.sentAt > rackWindow)
+		if lost {
+			l := s.segLen(seg)
+			s.inflight -= l
+			info.st = stLost
+			s.state[seg] = info
+			s.insertLost(seg)
+			delete(s.holes, seg)
+			newly += l
+		}
+	}
+	return newly
+}
+
+func (s *Sender) insertLost(seg int64) {
+	// Keep the queue sorted; losses are detected mostly in order so
+	// append + bubble is cheap.
+	s.lostQueue = append(s.lostQueue, seg)
+	for i := len(s.lostQueue) - 1; i > 0 && s.lostQueue[i] < s.lostQueue[i-1]; i-- {
+		s.lostQueue[i], s.lostQueue[i-1] = s.lostQueue[i-1], s.lostQueue[i]
+	}
+}
+
+// --- RTO ---
+
+func (s *Sender) armRTO() {
+	if s.finished || s.inflight <= 0 && len(s.lostQueue) == 0 {
+		return
+	}
+	if !s.rtoTimer.Active() {
+		s.rtoTimer = s.sim.Schedule(s.rtt.RTO(), s.fireRTO)
+	}
+	s.armTLP()
+}
+
+// armTLP schedules a RACK-style tail loss probe well before the RTO:
+// if an entire tail of the flight is lost, no dupacks arrive and —
+// without a probe — only a backed-off timeout can recover, which
+// starves small-window flows in contested buffers (RFC 8985).
+func (s *Sender) armTLP() {
+	if s.finished || !s.tlpArmed || s.inflight <= 0 || s.tlpTimer.Active() {
+		return
+	}
+	pto := 2 * s.rtt.SRTT()
+	if pto == 0 || pto > s.rtt.RTO()/2 {
+		pto = s.rtt.RTO() / 2
+	}
+	if pto < 10*time.Millisecond {
+		pto = 10 * time.Millisecond
+	}
+	s.tlpTimer = s.sim.Schedule(pto, s.fireTLP)
+}
+
+// fireTLP retransmits the highest outstanding segment once per flight,
+// soliciting the SACK feedback that lets fast recovery run instead of
+// an RTO. The congestion controller is not informed (the probe itself
+// is not a loss signal).
+func (s *Sender) fireTLP() {
+	if s.finished || !s.tlpArmed || s.inflight <= 0 {
+		return
+	}
+	var tail int64 = -1
+	for seg := segStart(s.sndNxt-1, s.cfg.MSS); seg >= s.sndUna; seg -= int64(s.cfg.MSS) {
+		if info, ok := s.state[seg]; ok && (info.st == stInflight || info.st == stRetransInFlight) {
+			tail = seg
+			break
+		}
+	}
+	if tail < 0 {
+		return
+	}
+	s.tlpArmed = false
+	s.stats.TLPs++
+	l := s.segLen(tail)
+	// Re-send the tail as a retransmission (accounting: the original is
+	// written off, the probe takes its place in flight).
+	s.inflight -= l
+	info := s.state[tail]
+	info.st = stLost
+	s.state[tail] = info
+	s.insertLost(tail)
+	s.emit(tail, l, true)
+}
+
+func (s *Sender) resetRTO() {
+	s.rtoTimer.Stop()
+	s.tlpTimer.Stop()
+	s.armRTO()
+}
+
+func (s *Sender) fireRTO() {
+	if s.finished {
+		return
+	}
+	if s.inflight <= 0 && len(s.lostQueue) == 0 {
+		return
+	}
+	s.stats.RTOs++
+	s.tlpArmed = false
+	s.tlpTimer.Stop()
+	s.rtt.Backoff()
+	s.ctrl.OnRTO(s.sim.Now())
+	// Mark everything outstanding as lost and rebuild the retransmit
+	// queue from the scoreboard (go-back-N under the collapsed window).
+	s.lostQueue = s.lostQueue[:0]
+	for seg := segStart(s.sndUna, s.cfg.MSS); seg < s.sndNxt; seg += int64(s.cfg.MSS) {
+		info, ok := s.state[seg]
+		if !ok {
+			continue
+		}
+		switch info.st {
+		case stInflight, stRetransInFlight:
+			s.inflight -= s.segLen(seg)
+			info.st = stLost
+			s.state[seg] = info
+			s.insertLost(seg)
+		case stLost:
+			s.insertLost(seg)
+		}
+	}
+	s.inRecovery = false
+	s.nextRelease = 0
+	s.trySend()
+	if !s.rtoTimer.Active() {
+		s.rtoTimer = s.sim.Schedule(s.rtt.RTO(), s.fireRTO)
+	}
+}
+
+func (s *Sender) finish(now time.Duration) {
+	s.finished = true
+	s.doneAt = now
+	s.rtoTimer.Stop()
+	s.tlpTimer.Stop()
+	s.kickTimer.Stop()
+	if s.OnComplete != nil {
+		s.OnComplete(now)
+	}
+}
+
+// AuditScoreboard recomputes the in-flight byte count and the
+// retransmit queue from the per-segment scoreboard and cross-checks
+// them against the incrementally-maintained counters. It returns a
+// non-empty slice of discrepancy descriptions if the invariants are
+// violated. Tests call this; production code never needs to.
+func (s *Sender) AuditScoreboard() []string {
+	var problems []string
+	var inflight int64
+	lost := map[int64]bool{}
+	for seg, info := range s.state {
+		switch info.st {
+		case stInflight, stRetransInFlight:
+			inflight += s.segLen(seg)
+		case stLost:
+			lost[seg] = true
+		}
+	}
+	if inflight != s.inflight {
+		problems = append(problems, fmt.Sprintf("inflight counter %d != scoreboard %d", s.inflight, inflight))
+	}
+	seen := map[int64]bool{}
+	for _, seg := range s.lostQueue {
+		if seen[seg] {
+			problems = append(problems, fmt.Sprintf("segment %d queued twice", seg))
+		}
+		seen[seg] = true
+		if info, ok := s.state[seg]; !ok || info.st != stLost {
+			problems = append(problems, fmt.Sprintf("queued segment %d is not marked lost", seg))
+		}
+	}
+	for seg := range lost {
+		if !seen[seg] {
+			problems = append(problems, fmt.Sprintf("lost segment %d missing from retransmit queue", seg))
+		}
+	}
+	for i := 1; i < len(s.lostQueue); i++ {
+		if s.lostQueue[i] <= s.lostQueue[i-1] {
+			problems = append(problems, "retransmit queue not sorted")
+			break
+		}
+	}
+	return problems
+}

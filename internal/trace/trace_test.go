@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"suss/internal/cubic"
+	"suss/internal/netsim"
+	"suss/internal/tcp"
+)
+
+func runTracedFlow(t *testing.T, every time.Duration) *FlowTrace {
+	t.Helper()
+	sim := netsim.NewSimulator()
+	p := netsim.NewPath(sim, netsim.PathSpec{Forward: []netsim.LinkConfig{
+		{Name: "core", Rate: 1e9, Delay: 10 * time.Millisecond, QueueBytes: 16 << 20},
+		{Name: "bneck", Rate: 1e8, Delay: 10 * time.Millisecond, QueueBytes: 1 << 20},
+	}})
+	f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), 2<<20, nil)
+	f.Sender.SetController(cubic.New(f.Sender, cubic.DefaultOptions()))
+	tr := Attach(f.Sender, "test", every)
+	f.StartAt(sim, 0)
+	sim.Run(time.Minute)
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	return tr
+}
+
+func TestAttachRecordsSamples(t *testing.T) {
+	tr := runTracedFlow(t, 0)
+	if len(tr.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Samples must be time-ordered with monotonic delivery.
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].T < tr.Samples[i-1].T {
+			t.Fatal("samples out of order")
+		}
+		if tr.Samples[i].Delivered < tr.Samples[i-1].Delivered {
+			t.Fatal("delivered went backwards")
+		}
+	}
+	last := tr.Samples[len(tr.Samples)-1]
+	if last.Delivered != 2<<20 {
+		t.Errorf("final delivered = %d", last.Delivered)
+	}
+}
+
+func TestSamplingRateBound(t *testing.T) {
+	dense := runTracedFlow(t, 0)
+	sparse := runTracedFlow(t, 50*time.Millisecond)
+	if len(sparse.Samples) >= len(dense.Samples) {
+		t.Errorf("rate limit did not reduce samples: %d vs %d", len(sparse.Samples), len(dense.Samples))
+	}
+	for i := 1; i < len(sparse.Samples); i++ {
+		if gap := sparse.Samples[i].T - sparse.Samples[i-1].T; gap < 50*time.Millisecond {
+			t.Fatalf("gap %v below sampling interval", gap)
+		}
+	}
+}
+
+func TestAtAndQueries(t *testing.T) {
+	tr := runTracedFlow(t, 0)
+	mid := tr.At(500 * time.Millisecond)
+	if mid.T > 500*time.Millisecond {
+		t.Errorf("At returned sample from the future: %v", mid.T)
+	}
+	if tr.MaxCwnd() <= 0 || tr.MaxSRTT() <= 0 {
+		t.Error("max queries returned zero")
+	}
+	tt, ok := tr.TimeToDeliver(1 << 20)
+	if !ok || tt <= 0 {
+		t.Errorf("TimeToDeliver = %v/%v", tt, ok)
+	}
+	if _, ok := tr.TimeToDeliver(1 << 40); ok {
+		t.Error("TimeToDeliver reported an impossible volume")
+	}
+	ct, ok := tr.TimeToCwnd(20 * 1448)
+	if !ok || ct <= 0 {
+		t.Errorf("TimeToCwnd = %v/%v", ct, ok)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := runTracedFlow(t, 10*time.Millisecond)
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "t_ms,cwnd_bytes,srtt_ms,delivered_bytes\n") {
+		t.Error("missing CSV header")
+	}
+	if strings.Count(out, "\n") != len(tr.Samples)+1 {
+		t.Errorf("row count mismatch: %d lines for %d samples", strings.Count(out, "\n"), len(tr.Samples))
+	}
+}

@@ -1,0 +1,253 @@
+package suss
+
+import (
+	"fmt"
+	"time"
+
+	"suss/internal/core"
+	"suss/internal/experiments"
+	"suss/internal/netem"
+	"suss/internal/netsim"
+	"suss/internal/scenarios"
+	"suss/internal/tcp"
+	"suss/internal/trace"
+)
+
+// Algorithm selects the congestion controller for a flow.
+type Algorithm int
+
+const (
+	// CUBIC is Linux-default CUBIC with HyStart (the paper's "SUSS
+	// off" baseline).
+	CUBIC Algorithm = iota
+	// CUBICWithSUSS enables the SUSS slow-start accelerator.
+	CUBICWithSUSS
+	// BBRv1 is the model-based baseline.
+	BBRv1
+	// BBRv2Lite is BBRv1 plus a loss-bounded inflight ceiling.
+	BBRv2Lite
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string { return a.algo().String() }
+
+func (a Algorithm) algo() experiments.Algo {
+	switch a {
+	case CUBIC:
+		return experiments.Cubic
+	case CUBICWithSUSS:
+		return experiments.Suss
+	case BBRv1:
+		return experiments.BBR
+	case BBRv2Lite:
+		return experiments.BBR2
+	default:
+		panic("suss: unknown algorithm")
+	}
+}
+
+// LinkType names a last-hop technology for PathConfig.
+type LinkType string
+
+// Last-hop technologies, matching the paper's client links.
+const (
+	Wired LinkType = "wired"
+	WiFi  LinkType = "wifi"
+	LTE4G LinkType = "4g"
+	NR5G  LinkType = "5g"
+)
+
+func (lt LinkType) netem() (netem.LinkType, error) {
+	switch lt {
+	case "", Wired:
+		return netem.Wired, nil
+	case WiFi:
+		return netem.WiFi, nil
+	case LTE4G:
+		return netem.LTE4G, nil
+	case NR5G:
+		return netem.NR5G, nil
+	default:
+		return 0, fmt.Errorf("suss: unknown link type %q", lt)
+	}
+}
+
+// PathConfig describes a single sender→receiver path: a fast core and
+// a last-hop bottleneck with the impairments of the chosen link type.
+type PathConfig struct {
+	// RateMbps is the last hop's mean downstream rate in Mbit/s.
+	RateMbps float64
+	// RTT is the propagation round-trip time.
+	RTT time.Duration
+	// BufferBDP sizes the bottleneck buffer in bandwidth-delay
+	// products (0 picks the link type's default).
+	BufferBDP float64
+	// Link selects the last-hop technology (default Wired).
+	Link LinkType
+	// Seed makes stochastic impairments reproducible.
+	Seed int64
+
+	// Kmax overrides SUSS's growth-exponent bound when the algorithm
+	// is CUBICWithSUSS (0 = the paper's default of 1, i.e. G ≤ 4).
+	Kmax int
+}
+
+func (cfg PathConfig) scenario() (scenarios.Scenario, error) {
+	lt, err := cfg.Link.netem()
+	if err != nil {
+		return scenarios.Scenario{}, err
+	}
+	if cfg.RateMbps <= 0 {
+		return scenarios.Scenario{}, fmt.Errorf("suss: RateMbps must be positive, got %v", cfg.RateMbps)
+	}
+	if cfg.RTT <= 0 {
+		return scenarios.Scenario{}, fmt.Errorf("suss: RTT must be positive, got %v", cfg.RTT)
+	}
+	prof := netem.DefaultProfile(lt, cfg.RateMbps*1e6)
+	if cfg.BufferBDP > 0 {
+		prof.BufferBDPs = cfg.BufferBDP
+	}
+	return scenarios.Scenario{
+		Link:     lt,
+		RTT:      cfg.RTT,
+		LastHop:  prof,
+		CoreRate: 1e9,
+		Seed:     cfg.Seed,
+	}, nil
+}
+
+// Result summarizes one transfer.
+type Result struct {
+	// FCT is the receiver-side flow completion time.
+	FCT time.Duration
+	// DeliveredBytes should equal the requested size.
+	DeliveredBytes int64
+	// Retransmissions and RTOs count recovery activity.
+	Retransmissions int
+	RTOs            int
+	// LossRate is drops at the bottleneck over packets offered to it.
+	LossRate float64
+	// MaxG is the largest SUSS growth factor used (0 unless
+	// CUBICWithSUSS).
+	MaxG int
+	// AcceleratedRounds counts slow-start rounds with G > 2.
+	AcceleratedRounds int
+}
+
+// TracePoint is one sample of a flow's transport state.
+type TracePoint struct {
+	T         time.Duration
+	CwndBytes int64
+	SRTT      time.Duration
+	Delivered int64
+}
+
+// Run transfers size bytes over the configured path with the given
+// algorithm and returns the outcome.
+func Run(cfg PathConfig, algo Algorithm, size int64) (Result, error) {
+	res, _, err := run(cfg, algo, size, 0)
+	return res, err
+}
+
+// RunTrace is Run plus the cwnd/RTT/delivered time series, sampled at
+// most once per the given interval (0 = every ACK).
+func RunTrace(cfg PathConfig, algo Algorithm, size int64, every time.Duration) (Result, []TracePoint, error) {
+	return run(cfg, algo, size, every)
+}
+
+func run(cfg PathConfig, algo Algorithm, size int64, every time.Duration) (Result, []TracePoint, error) {
+	if size <= 0 {
+		return Result{}, nil, fmt.Errorf("suss: size must be positive, got %d", size)
+	}
+	sc, err := cfg.scenario()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	sim := netsim.NewSimulator()
+	p, _ := sc.Build(sim)
+	f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
+	if algo == CUBICWithSUSS && cfg.Kmax > 0 {
+		opt := core.DefaultOptions()
+		opt.Kmax = cfg.Kmax
+		f.Sender.SetController(core.New(f.Sender, opt))
+	} else {
+		f.Sender.SetController(experiments.NewController(algo.algo(), f.Sender))
+	}
+	tr := trace.Attach(f.Sender, algo.String(), every)
+	f.StartAt(sim, 0)
+	sim.Run(30 * time.Minute)
+	if !f.Done() {
+		return Result{}, nil, fmt.Errorf("suss: transfer did not complete within the simulation horizon (delivered %d of %d bytes)",
+			f.Sender.Delivered(), size)
+	}
+
+	last := p.Fwd[len(p.Fwd)-1].Stats()
+	res := Result{
+		FCT:             f.FCT(),
+		DeliveredBytes:  f.Sender.Delivered(),
+		Retransmissions: f.Sender.Stats().Retransmissions,
+		RTOs:            f.Sender.Stats().RTOs,
+	}
+	if offered := last.EnqueuedPackets + last.DroppedPackets; offered > 0 {
+		res.LossRate = float64(last.DroppedPackets+last.ErasedPackets) / float64(offered)
+	}
+	if s, ok := f.Sender.Controller().(*core.Suss); ok {
+		res.MaxG = s.Stats().MaxG
+		res.AcceleratedRounds = s.Stats().AcceleratedRounds
+	}
+	pts := make([]TracePoint, len(tr.Samples))
+	for i, s := range tr.Samples {
+		pts[i] = TracePoint{T: s.T, CwndBytes: s.CwndBytes, SRTT: s.SRTT, Delivered: s.Delivered}
+	}
+	return res, pts, nil
+}
+
+// InternetScenario names one cell of the paper's 7-server × 4-link
+// matrix, e.g. "google-tokyo/4g". See Scenarios for the full list.
+type InternetScenario string
+
+// Scenarios lists the paper's 28 internet-testbed scenarios.
+func Scenarios() []InternetScenario {
+	var out []InternetScenario
+	for _, sc := range scenarios.All(1) {
+		out = append(out, InternetScenario(sc.Name()))
+	}
+	return out
+}
+
+// RunScenario transfers size bytes over a named internet scenario.
+func RunScenario(name InternetScenario, algo Algorithm, size int64, seed int64) (Result, error) {
+	for _, sc := range scenarios.All(seed) {
+		if sc.Name() == string(name) {
+			r := experiments.Download(sc, algo.algo(), size, 0, nil)
+			if !r.Completed {
+				return Result{}, fmt.Errorf("suss: scenario %s did not complete", name)
+			}
+			return Result{
+				FCT:               r.FCT,
+				DeliveredBytes:    r.Delivered,
+				Retransmissions:   r.Retrans,
+				RTOs:              r.RTOs,
+				LossRate:          r.LossRate,
+				MaxG:              r.MaxG,
+				AcceleratedRounds: r.AccelRounds,
+			}, nil
+		}
+	}
+	return Result{}, fmt.Errorf("suss: unknown scenario %q (see Scenarios())", name)
+}
+
+// CompareFCT runs the same transfer under two algorithms and returns
+// both results plus the relative FCT improvement of b over a.
+func CompareFCT(cfg PathConfig, a, b Algorithm, size int64) (ra, rb Result, improvement float64, err error) {
+	ra, err = Run(cfg, a, size)
+	if err != nil {
+		return
+	}
+	rb, err = Run(cfg, b, size)
+	if err != nil {
+		return
+	}
+	improvement = experiments.Improvement(ra.FCT.Seconds(), rb.FCT.Seconds())
+	return
+}
