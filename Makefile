@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build vet test race bench clean
+
+# The full gate CI runs: build + vet + tests + race pass over the
+# concurrency-bearing packages.
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The worker pool and the experiment sweeps built on it are the only
+# packages that spawn goroutines; they get a dedicated race pass.
+race:
+	$(GO) test -race ./internal/runner ./internal/experiments
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

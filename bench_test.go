@@ -8,6 +8,8 @@ package suss
 // miniature. cmd/sussbench runs the full-fidelity version.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -76,11 +78,33 @@ func BenchmarkFig12FCTImprovement(b *testing.B) {
 	var imp float64
 	for i := 0; i < b.N; i++ {
 		sc := scenarios.New(scenarios.GoogleTokyo, netem.LTE4G, int64(i+1))
-		c, _ := experiments.FCTs(sc, experiments.Cubic, 2<<20, 2)
-		s, _ := experiments.FCTs(sc, experiments.Suss, 2<<20, 2)
+		c, _, errC := experiments.FCTs(sc, experiments.Cubic, 2<<20, 2)
+		s, _, errS := experiments.FCTs(sc, experiments.Suss, 2<<20, 2)
+		if errC != nil || errS != nil {
+			b.Fatal(errC, errS)
+		}
 		imp = experiments.Improvement(stats.Mean(c), stats.Mean(s))
 	}
 	b.ReportMetric(100*imp, "tokyo-4g-2MB-improvement-%")
+}
+
+// BenchmarkFig11ParallelVsSequential runs the same reduced Fig. 11
+// sweep once per iteration with a single worker and with a full
+// GOMAXPROCS pool: the sub-benchmark wall clocks are the sequential
+// vs parallel comparison point (the numbers produced are identical —
+// see the determinism test in internal/experiments).
+func BenchmarkFig11ParallelVsSequential(b *testing.B) {
+	sizes := []int64{512 << 10, 2 << 20}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.RunFig11(scenarios.GoogleTokyo, sizes, 1, int64(i+1), experiments.WithWorkers(workers))
+				if r.Incomplete > 0 {
+					b.Fatalf("%d incomplete downloads", r.Incomplete)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkFig13LargeFlowNoImpact(b *testing.B) {
@@ -145,8 +169,12 @@ func BenchmarkFig17LossAllScenarios(b *testing.B) {
 	var lossSussOff, lossSussOn float64
 	for i := 0; i < b.N; i++ {
 		sc := scenarios.New(scenarios.OracleLondon, netem.NR5G, int64(i+1))
-		_, lossSussOff = experiments.FCTs(sc, experiments.Cubic, 4<<20, 1)
-		_, lossSussOn = experiments.FCTs(sc, experiments.Suss, 4<<20, 1)
+		var errOff, errOn error
+		_, lossSussOff, errOff = experiments.FCTs(sc, experiments.Cubic, 4<<20, 1)
+		_, lossSussOn, errOn = experiments.FCTs(sc, experiments.Suss, 4<<20, 1)
+		if errOff != nil || errOn != nil {
+			b.Fatal(errOff, errOn)
+		}
 	}
 	b.ReportMetric(100*lossSussOff, "loss-suss-off-%")
 	b.ReportMetric(100*lossSussOn, "loss-suss-on-%")

@@ -8,6 +8,15 @@
 //	sussbench -only fig11     # one experiment
 //	sussbench -iters 10       # more repetitions per data point
 //	sussbench -quick          # reduced sweep for a fast smoke pass
+//	sussbench -parallel 8     # worker pool size (0 = GOMAXPROCS)
+//
+// Sweep experiments fan their independent simulations out over a
+// bounded worker pool (internal/runner). Results are collected by job
+// index and every simulation is instance-seeded, so the rows printed
+// are identical at any -parallel value; only the wall clock changes.
+// A progress line is written to stderr, each experiment reports its
+// own wall-clock time, and the process exits nonzero if any
+// simulation failed to complete.
 //
 // Experiment ids: fig01 fig02 fig09 fig11 fig13 fig14 fig15 fig16
 // table1 matrix (= fig17+fig18) ablations webmix futurework appendixB.
@@ -19,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -32,6 +42,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	outDir := flag.String("out", "", "also write CSV data files to this directory (fig11, matrix)")
+	parallel := flag.Int("parallel", 0, "worker pool size for sweep experiments (0 = GOMAXPROCS)")
+	noProgress := flag.Bool("no-progress", false, "suppress the stderr progress line")
 	flag.Parse()
 
 	if *outDir != "" {
@@ -63,6 +75,31 @@ func main() {
 	}
 	start := time.Now()
 	ran := 0
+	incomplete := 0
+
+	// opts builds the sweep options for one experiment: the shared
+	// worker bound plus a stderr progress line tagged with the id.
+	opts := func(id string) []experiments.Option {
+		o := []experiments.Option{experiments.WithWorkers(*parallel)}
+		if !*noProgress {
+			o = append(o, experiments.WithProgress(func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r[%s] %d/%d jobs", id, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}))
+		}
+		return o
+	}
+	// timed runs one experiment's body and prints its own wall clock,
+	// so -parallel speedups are visible per experiment, not just in
+	// the final total.
+	timed := func(id string, fn func()) {
+		ran++
+		t0 := time.Now()
+		fn()
+		fmt.Printf("[%s] finished in %v\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
 
 	sizes := experiments.DefaultSizes
 	matrixSizes := []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 12 << 20}
@@ -78,98 +115,139 @@ func main() {
 	}
 
 	if run("fig01") {
-		ran++
-		emit(experiments.RunFig01(60<<20, *seed).Render())
+		timed("fig01", func() {
+			emit(experiments.RunFig01(60<<20, *seed).Render())
+		})
 	}
 	if run("fig02") {
-		ran++
-		// The BBR panel uses the v2-lite model: our BBRv1 model keeps
-		// the buffer pinned and starves late joiners (the known
-		// BBRv1-vs-droptail pathology); v2's loss-bounded inflight
-		// reproduces the paper's Fig. 2(b) convergence. See
-		// EXPERIMENTS.md.
-		for _, algo := range []experiments.Algo{experiments.Cubic, experiments.BBR2} {
-			emit(experiments.RunFig02(algo, 100*time.Millisecond, 1, joinAt, horizon).Render())
-		}
+		timed("fig02", func() {
+			// The BBR panel uses the v2-lite model: our BBRv1 model keeps
+			// the buffer pinned and starves late joiners (the known
+			// BBRv1-vs-droptail pathology); v2's loss-bounded inflight
+			// reproduces the paper's Fig. 2(b) convergence. See
+			// EXPERIMENTS.md.
+			for _, algo := range []experiments.Algo{experiments.Cubic, experiments.BBR2} {
+				emit(experiments.RunFig02(algo, 100*time.Millisecond, 1, joinAt, horizon).Render())
+			}
+		})
 	}
 	if run("fig09") || run("fig10") {
-		ran++
-		emit(experiments.RunFig09(25<<20, *seed).Render())
+		timed("fig09", func() {
+			emit(experiments.RunFig09(25<<20, *seed).Render())
+		})
 	}
 	if run("fig11") || run("fig12") {
-		ran++
-		r := experiments.RunFig11(scenarios.GoogleTokyo, sizes, *iters, *seed)
-		emit(r.Render())
-		writeCSV("fig11.csv", r.WriteCSV)
+		timed("fig11", func() {
+			r := experiments.RunFig11(scenarios.GoogleTokyo, sizes, *iters, *seed, opts("fig11")...)
+			incomplete += r.Incomplete
+			emit(r.Render())
+			writeCSV("fig11.csv", r.WriteCSV)
+		})
 	}
 	if run("fig13") {
-		ran++
-		emit(experiments.RunFig13(*seed).Render())
+		timed("fig13", func() {
+			emit(experiments.RunFig13(*seed).Render())
+		})
 	}
 	if run("fig14") {
-		ran++
-		emit(experiments.RunFig14(fig14Sizes, *iters, *seed).Render())
+		timed("fig14", func() {
+			r := experiments.RunFig14(fig14Sizes, *iters, *seed, opts("fig14")...)
+			incomplete += r.Incomplete
+			emit(r.Render())
+		})
 	}
 	if run("fig15") {
-		ran++
-		cfgs := experiments.Fig15Configs()
-		if *quick {
-			cfgs = cfgs[:4]
-		}
-		for _, cfg := range cfgs {
-			emit(experiments.RunFig15(cfg, joinAt, horizon).Render())
-		}
+		timed("fig15", func() {
+			cfgs := experiments.Fig15Configs()
+			if *quick {
+				cfgs = cfgs[:4]
+			}
+			for _, cfg := range cfgs {
+				emit(experiments.RunFig15(cfg, joinAt, horizon).Render())
+			}
+		})
 	}
 	if run("fig16") {
-		ran++
-		emit(experiments.RunFig16(experiments.Cubic, experiments.Suss, 100*time.Millisecond, 1, large).Render())
+		timed("fig16", func() {
+			emit(experiments.RunFig16(experiments.Cubic, experiments.Suss, 100*time.Millisecond, 1, large).Render())
+		})
 	}
 	if run("table1") {
-		ran++
-		algos := []experiments.Algo{experiments.Cubic, experiments.BBR, experiments.BBR2}
-		if *quick {
-			algos = algos[:1]
-		}
-		for _, la := range algos {
-			emit(experiments.RunTable1(la, large).Render())
-		}
+		timed("table1", func() {
+			algos := []experiments.Algo{experiments.Cubic, experiments.BBR, experiments.BBR2}
+			if *quick {
+				algos = algos[:1]
+			}
+			for _, la := range algos {
+				r := experiments.RunTable1(la, large, opts("table1")...)
+				incomplete += len(r.Failed)
+				emit(r.Render())
+			}
+		})
 	}
 	if run("matrix") || run("fig17") || run("fig18") {
-		ran++
-		r := experiments.RunMatrix(matrixSizes, *iters, *seed)
-		emit(r.Render())
-		writeCSV("matrix.csv", r.WriteCSV)
+		timed("matrix", func() {
+			r := experiments.RunMatrix(matrixSizes, *iters, *seed, opts("matrix")...)
+			incomplete += r.Incomplete()
+			emit(r.Render())
+			writeCSV("matrix.csv", r.WriteCSV)
+		})
 	}
 	if run("ablations") {
-		ran++
-		emit(experiments.RunAblationMechanisms(4<<20, *iters, *seed).Render())
-		emit(experiments.RunAblationKmax(8<<20, *iters, *seed).Render())
-		emit(experiments.RunSlowStartExitComparison(2<<20, *iters, *seed).Render())
-		emit(experiments.RunAQMComparison(4<<20, *iters, *seed).Render())
+		timed("ablations", func() {
+			mech := experiments.RunAblationMechanisms(4<<20, *iters, *seed, opts("ablations")...)
+			incomplete += mech.Incomplete
+			emit(mech.Render())
+			kmax := experiments.RunAblationKmax(8<<20, *iters, *seed, opts("ablations")...)
+			incomplete += kmax.Incomplete
+			emit(kmax.Render())
+			exit := experiments.RunSlowStartExitComparison(2<<20, *iters, *seed, opts("ablations")...)
+			incomplete += exit.Incomplete
+			emit(exit.Render())
+			aqm := experiments.RunAQMComparison(4<<20, *iters, *seed, opts("ablations")...)
+			incomplete += aqm.Incomplete
+			emit(aqm.Render())
+		})
 	}
 	if run("webmix") {
-		ran++
-		nflows := 120
-		if *quick {
-			nflows = 40
-		}
-		emit(experiments.RunWebMix(nflows, 3, *seed).Render())
+		timed("webmix", func() {
+			nflows := 120
+			if *quick {
+				nflows = 40
+			}
+			emit(experiments.RunWebMix(nflows, 3, *seed).Render())
+		})
 	}
 	if run("futurework") {
-		ran++
-		emit(experiments.RunFutureWorkBBRSuss([]int64{512 << 10, 2 << 20, 8 << 20}, *iters, *seed).Render())
+		timed("futurework", func() {
+			r := experiments.RunFutureWorkBBRSuss([]int64{512 << 10, 2 << 20, 8 << 20}, *iters, *seed, opts("futurework")...)
+			incomplete += r.Incomplete
+			emit(r.Render())
+		})
 	}
 	if run("appendixB") {
-		ran++
-		emit(experiments.RunBtlBwVariation("drop", 8<<20, *seed).Render())
-		emit(experiments.RunBtlBwVariation("rise", 8<<20, *seed).Render())
+		timed("appendixB", func() {
+			for _, dir := range []string{"drop", "rise"} {
+				r := experiments.RunBtlBwVariation(dir, 8<<20, *seed, opts("appendixB")...)
+				incomplete += len(r.Failed)
+				emit(r.Render())
+			}
+		})
 	}
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
-	fmt.Printf("completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("completed in %v (wall clock, %d workers)\n", time.Since(start).Round(time.Millisecond), workers)
+	if incomplete > 0 {
+		fmt.Fprintf(os.Stderr, "ERROR: %d simulation(s) did not complete\n", incomplete)
+		os.Exit(1)
+	}
 }
 
 func emit(s string) {

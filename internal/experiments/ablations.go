@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"suss/internal/core"
 	"suss/internal/netem"
 	"suss/internal/netsim"
+	"suss/internal/runner"
 	"suss/internal/scenarios"
 	"suss/internal/stats"
 	"suss/internal/tcp"
@@ -24,78 +26,70 @@ type AblationResult struct {
 	FCT      []float64
 	Loss     []float64
 	PeakQ    []int
+	// Incomplete counts runs that never finished (excluded above).
+	Incomplete int
 }
 
-// sussVariant runs one configured SUSS download and reports FCT, loss
-// and peak queue.
-func sussVariant(sc scenarios.Scenario, opt core.Options, size int64, iters int) (fct, loss float64, peakQ int) {
-	var fcts, losses []float64
-	for it := 0; it < iters; it++ {
-		run := sc
-		run.Seed = sc.Seed*1000003 + int64(it)*7919 + 1
-		sim := netsim.NewSimulator()
-		p, _ := run.Build(sim)
-		f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
-		f.Sender.SetController(core.New(f.Sender, opt))
-		f.StartAt(sim, 0)
-		sim.Run(20 * time.Minute)
-		if !f.Done() {
-			panic("experiments: ablation flow did not complete")
-		}
-		last := p.Fwd[len(p.Fwd)-1]
-		st := last.Stats()
-		fcts = append(fcts, f.FCT().Seconds())
-		offered := st.EnqueuedPackets + st.DroppedPackets
-		if offered > 0 {
-			losses = append(losses, float64(st.DroppedPackets+st.ErasedPackets)/float64(offered))
-		}
-		if st.MaxQueueBytes > peakQ {
-			peakQ = st.MaxQueueBytes
+// runSussVariants declares variants × iters SUSS downloads as one job
+// slice and aggregates FCT, loss and peak queue per variant.
+func runSussVariants(cfg config, sc scenarios.Scenario, name string, names []string, options []core.Options, size int64, iters int) AblationResult {
+	res := AblationResult{Name: name, Variants: names}
+	var jobs []runner.Job
+	for vi := range options {
+		for it := 0; it < iters; it++ {
+			jobs = append(jobs, runner.Job{Scenario: sc, Algo: Suss, SussOpt: &options[vi], Size: size, Iter: it})
 		}
 	}
-	return stats.Mean(fcts), stats.Mean(losses), peakQ
+	out := runner.Run(cfg.ctx, jobs, cfg.pool())
+	for vi := range options {
+		b := summarizeBatch(out[vi*iters : (vi+1)*iters])
+		res.Incomplete += b.incomplete
+		peakQ := 0
+		var losses []float64
+		for _, r := range out[vi*iters : (vi+1)*iters] {
+			if r.Err != nil {
+				continue
+			}
+			if r.PeakQueue > peakQ {
+				peakQ = r.PeakQueue
+			}
+			losses = append(losses, r.LossRate)
+		}
+		res.FCT = append(res.FCT, stats.Mean(b.fcts))
+		res.Loss = append(res.Loss, stats.Mean(losses))
+		res.PeakQ = append(res.PeakQ, peakQ)
+	}
+	return res
 }
 
 // RunAblationMechanisms compares full SUSS against the clocking-only
 // (no pacing period) and pacing-only (everything paced) ablations plus
 // the no-guard variant, on a large-BDP 5G path.
-func RunAblationMechanisms(size int64, iters int, seed int64) AblationResult {
+func RunAblationMechanisms(size int64, iters int, seed int64, opts ...Option) AblationResult {
 	sc := scenarios.New(scenarios.GoogleTokyo, netem.NR5G, seed)
 	sc.LastHop.BufferBDPs = 0.6 // make burst damage visible
-	res := AblationResult{Name: "mechanisms"}
-	cases := []struct {
-		name string
-		opt  core.Options
-	}{
-		{"full", core.DefaultOptions()},
-		{"no-pacing (burst reds)", func() core.Options { o := core.DefaultOptions(); o.NoPacing = true; return o }()},
-		{"pace-everything", func() core.Options { o := core.DefaultOptions(); o.PaceEverything = true; return o }()},
-		{"no-guard", func() core.Options { o := core.DefaultOptions(); o.NoGuard = true; return o }()},
+	names := []string{"full", "no-pacing (burst reds)", "pace-everything", "no-guard"}
+	options := []core.Options{
+		core.DefaultOptions(),
+		func() core.Options { o := core.DefaultOptions(); o.NoPacing = true; return o }(),
+		func() core.Options { o := core.DefaultOptions(); o.PaceEverything = true; return o }(),
+		func() core.Options { o := core.DefaultOptions(); o.NoGuard = true; return o }(),
 	}
-	for _, c := range cases {
-		fct, loss, q := sussVariant(sc, c.opt, size, iters)
-		res.Variants = append(res.Variants, c.name)
-		res.FCT = append(res.FCT, fct)
-		res.Loss = append(res.Loss, loss)
-		res.PeakQ = append(res.PeakQ, q)
-	}
-	return res
+	return runSussVariants(newConfig(opts), sc, "mechanisms", names, options, size, iters)
 }
 
 // RunAblationKmax sweeps the Appendix-A generalization kmax ∈ {1,2,3}.
-func RunAblationKmax(size int64, iters int, seed int64) AblationResult {
+func RunAblationKmax(size int64, iters int, seed int64, opts ...Option) AblationResult {
 	sc := scenarios.New(scenarios.GoogleTokyo, netem.Wired, seed)
-	res := AblationResult{Name: "kmax"}
+	var names []string
+	var options []core.Options
 	for _, k := range []int{1, 2, 3} {
 		opt := core.DefaultOptions()
 		opt.Kmax = k
-		fct, loss, q := sussVariant(sc, opt, size, iters)
-		res.Variants = append(res.Variants, fmt.Sprintf("kmax=%d", k))
-		res.FCT = append(res.FCT, fct)
-		res.Loss = append(res.Loss, loss)
-		res.PeakQ = append(res.PeakQ, q)
+		names = append(names, fmt.Sprintf("kmax=%d", k))
+		options = append(options, opt)
 	}
-	return res
+	return runSussVariants(newConfig(opts), sc, "kmax", names, options, size, iters)
 }
 
 // Render prints the comparison.
@@ -105,6 +99,9 @@ func (r AblationResult) Render() string {
 	fmt.Fprintf(&b, "  %-24s %10s %10s %12s\n", "variant", "FCT", "loss", "peak queue")
 	for i, v := range r.Variants {
 		fmt.Fprintf(&b, "  %-24s %9.3fs %9.3f%% %11dB\n", v, r.FCT[i], 100*r.Loss[i], r.PeakQ[i])
+	}
+	if r.Incomplete > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d run(s) did not complete (excluded)\n", r.Incomplete)
 	}
 	return b.String()
 }
@@ -118,16 +115,21 @@ type BtlBwVariationResult struct {
 	FCTOn     float64
 	LossOff   float64
 	LossOn    float64
+	// Failed lists variants whose flow never finished.
+	Failed []string
 }
 
-// RunBtlBwVariation runs the step experiment.
-func RunBtlBwVariation(direction string, size int64, seed int64) BtlBwVariationResult {
+// RunBtlBwVariation runs the step experiment; the off/on variants run
+// as two independent pool items.
+func RunBtlBwVariation(direction string, size int64, seed int64, opts ...Option) BtlBwVariationResult {
+	cfg := newConfig(opts)
 	res := BtlBwVariationResult{Direction: direction}
 	base, after := 2e8, 1e8
 	if direction == "rise" {
 		base, after = 1e8, 2e8
 	}
-	for variant := 0; variant < 2; variant++ {
+	type stepRun struct{ fct, loss float64 }
+	outs := runner.Map(cfg.ctx, []Algo{Cubic, Suss}, func(_ context.Context, _ int, algo Algo) (stepRun, error) {
 		sim := netsim.NewSimulator()
 		rtt := 150 * time.Millisecond
 		bdp := base / 8 * rtt.Seconds()
@@ -136,25 +138,28 @@ func RunBtlBwVariation(direction string, size int64, seed int64) BtlBwVariationR
 			{Name: "bneck", RateModel: netem.Step(base, after, time.Second), Delay: 5 * time.Millisecond, QueueBytes: int(bdp)},
 		}})
 		f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
-		algo := Cubic
-		if variant == 1 {
-			algo = Suss
-		}
 		f.Sender.SetController(NewController(algo, f.Sender))
 		f.StartAt(sim, 0)
 		sim.Run(20 * time.Minute)
 		if !f.Done() {
-			panic("experiments: BtlBw variation flow did not complete")
+			return stepRun{}, fmt.Errorf("BtlBw %s %s: %w", direction, algo, runner.ErrIncomplete)
 		}
 		st := p.Fwd[1].Stats()
 		loss := 0.0
 		if off := st.EnqueuedPackets + st.DroppedPackets; off > 0 {
 			loss = float64(st.DroppedPackets) / float64(off)
 		}
+		return stepRun{fct: f.FCT().Seconds(), loss: loss}, nil
+	}, cfg.pool())
+	for variant, o := range outs {
+		if o.Err != nil {
+			res.Failed = append(res.Failed, o.Err.Error())
+			continue
+		}
 		if variant == 0 {
-			res.FCTOff, res.LossOff = f.FCT().Seconds(), loss
+			res.FCTOff, res.LossOff = o.Value.fct, o.Value.loss
 		} else {
-			res.FCTOn, res.LossOn = f.FCT().Seconds(), loss
+			res.FCTOn, res.LossOn = o.Value.fct, o.Value.loss
 		}
 	}
 	return res
@@ -162,38 +167,45 @@ func RunBtlBwVariation(direction string, size int64, seed int64) BtlBwVariationR
 
 // Render prints the comparison.
 func (r BtlBwVariationResult) Render() string {
-	return fmt.Sprintf("Appendix B — BtlBw %s at t=1s: off FCT=%.3fs loss=%.3f%%; on FCT=%.3fs loss=%.3f%%\n",
+	s := fmt.Sprintf("Appendix B — BtlBw %s at t=1s: off FCT=%.3fs loss=%.3f%%; on FCT=%.3fs loss=%.3f%%\n",
 		r.Direction, r.FCTOff, 100*r.LossOff, r.FCTOn, 100*r.LossOn)
+	for _, f := range r.Failed {
+		s += fmt.Sprintf("  FAILED %s\n", f)
+	}
+	return s
 }
 
 // SlowStartExitResult compares the three slow-start exit strategies —
 // classic HyStart (Linux CUBIC), HyStart++ (RFC 9406), and SUSS's
 // accelerated start with its modified HyStart — on one path.
 type SlowStartExitResult struct {
-	Scenario string
-	Variants []string
-	FCT      []float64
-	Loss     []float64
+	Scenario   string
+	Variants   []string
+	FCT        []float64
+	Loss       []float64
+	Incomplete int
 }
 
 // RunSlowStartExitComparison sweeps the three variants over iters
-// downloads of size bytes on a large-BDP wired path.
-func RunSlowStartExitComparison(size int64, iters int, seed int64) SlowStartExitResult {
+// downloads of size bytes on a large-BDP wired path, as one job slice.
+func RunSlowStartExitComparison(size int64, iters int, seed int64, opts ...Option) SlowStartExitResult {
+	cfg := newConfig(opts)
 	sc := scenarios.New(scenarios.GoogleTokyo, netem.Wired, seed)
 	res := SlowStartExitResult{Scenario: sc.Name()}
-	for _, algo := range []Algo{Cubic, CubicHSPP, Suss} {
-		var fcts, losses []float64
+	algos := []Algo{Cubic, CubicHSPP, Suss}
+	var jobs []runner.Job
+	for _, algo := range algos {
 		for it := 0; it < iters; it++ {
-			r := Download(sc, algo, size, it, nil)
-			if !r.Completed {
-				panic("experiments: slow-start comparison flow did not complete")
-			}
-			fcts = append(fcts, r.FCT.Seconds())
-			losses = append(losses, r.LossRate)
+			jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it})
 		}
+	}
+	out := runner.Run(cfg.ctx, jobs, cfg.pool())
+	for vi, algo := range algos {
+		b := summarizeBatch(out[vi*iters : (vi+1)*iters])
+		res.Incomplete += b.incomplete
 		res.Variants = append(res.Variants, algo.String())
-		res.FCT = append(res.FCT, stats.Mean(fcts))
-		res.Loss = append(res.Loss, stats.Mean(losses))
+		res.FCT = append(res.FCT, stats.Mean(b.fcts))
+		res.Loss = append(res.Loss, b.meanLoss)
 	}
 	return res
 }
@@ -206,6 +218,9 @@ func (r SlowStartExitResult) Render() string {
 	for i, v := range r.Variants {
 		fmt.Fprintf(&b, "  %-12s %9.3fs %9.3f%%\n", v, r.FCT[i], 100*r.Loss[i])
 	}
+	if r.Incomplete > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d run(s) did not complete (excluded)\n", r.Incomplete)
+	}
 	return b.String()
 }
 
@@ -217,18 +232,36 @@ type FutureWorkResult struct {
 	// FCT[size][0] = bbr, [1] = bbr+suss; Improvement per size.
 	FCT         [][]float64
 	Improvement []float64
+	Incomplete  int
 }
 
-// RunFutureWorkBBRSuss sweeps flow sizes for BBR vs BBR+SUSS.
-func RunFutureWorkBBRSuss(sizes []int64, iters int, seed int64) FutureWorkResult {
+// RunFutureWorkBBRSuss sweeps flow sizes for BBR vs BBR+SUSS as one
+// job slice.
+func RunFutureWorkBBRSuss(sizes []int64, iters int, seed int64, opts ...Option) FutureWorkResult {
+	cfg := newConfig(opts)
 	sc := scenarios.New(scenarios.GoogleTokyo, netem.Wired, seed)
 	res := FutureWorkResult{Scenario: sc.Name(), Sizes: sizes}
+	algos := []Algo{BBR, BBRSuss}
+	var jobs []runner.Job
 	for _, size := range sizes {
-		plain, _ := FCTs(sc, BBR, size, iters)
-		boosted, _ := FCTs(sc, BBRSuss, size, iters)
-		pm, bm := stats.Mean(plain), stats.Mean(boosted)
-		res.FCT = append(res.FCT, []float64{pm, bm})
-		res.Improvement = append(res.Improvement, Improvement(pm, bm))
+		for _, algo := range algos {
+			for it := 0; it < iters; it++ {
+				jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it})
+			}
+		}
+	}
+	out := runner.Run(cfg.ctx, jobs, cfg.pool())
+	k := 0
+	for range sizes {
+		var means []float64
+		for range algos {
+			b := summarizeBatch(out[k : k+iters])
+			k += iters
+			res.Incomplete += b.incomplete
+			means = append(means, stats.Mean(b.fcts))
+		}
+		res.FCT = append(res.FCT, means)
+		res.Improvement = append(res.Improvement, Improvement(means[0], means[1]))
 	}
 	return res
 }
@@ -242,6 +275,9 @@ func (r FutureWorkResult) Render() string {
 		fmt.Fprintf(&b, "  %-8s %9.3fs %9.3fs %11.1f%%\n",
 			SizeLabel(size), r.FCT[i][0], r.FCT[i][1], 100*r.Improvement[i])
 	}
+	if r.Incomplete > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d run(s) did not complete (excluded)\n", r.Incomplete)
+	}
 	return b.String()
 }
 
@@ -250,56 +286,87 @@ func (r FutureWorkResult) Render() string {
 // attack slow-start's standing-queue and burst-loss problems, one from
 // the router, one from the end host.
 type AQMResult struct {
-	Variants []string
-	FCT      []float64
-	Loss     []float64
-	MaxRTTms []float64
+	Variants   []string
+	FCT        []float64
+	Loss       []float64
+	MaxRTTms   []float64
+	Incomplete int
 }
 
 // RunAQMComparison downloads size bytes over a 100 Mbps × 100 ms path
 // with a shallow-ish buffer under three regimes: CUBIC + drop-tail,
-// CUBIC + CoDel, and CUBIC+SUSS + drop-tail.
-func RunAQMComparison(size int64, iters int, seed int64) AQMResult {
+// CUBIC + CoDel, and CUBIC+SUSS + drop-tail. The variants × iters
+// simulations run as one pool batch.
+func RunAQMComparison(size int64, iters int, seed int64, opts ...Option) AQMResult {
+	cfg := newConfig(opts)
 	res := AQMResult{}
 	type variant struct {
 		name  string
 		algo  Algo
 		qdisc netsim.QdiscFactory
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{"cubic/drop-tail", Cubic, nil},
 		{"cubic/codel", Cubic, netsim.CoDelFactory},
 		{"suss/drop-tail", Suss, nil},
-	} {
-		var fcts, losses, maxRTTs []float64
+	}
+	type aqmRun struct {
+		fct, loss, maxRTTms float64
+		hasLoss             bool
+	}
+	type item struct {
+		v  variant
+		it int
+	}
+	var items []item
+	for _, v := range variants {
 		for it := 0; it < iters; it++ {
-			sim := netsim.NewSimulator()
-			rtt := 100 * time.Millisecond
-			rate := 1e8
-			bdp := rate / 8 * rtt.Seconds()
-			p := netsim.NewPath(sim, netsim.PathSpec{Forward: []netsim.LinkConfig{
-				{Name: "core", Rate: 1e9, Delay: rtt/2 - 5*time.Millisecond, QueueBytes: 64 << 20},
-				{Name: "bneck", Rate: rate, Delay: 5 * time.Millisecond, QueueBytes: int(bdp), Qdisc: v.qdisc},
-			}})
-			f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
-			f.Sender.SetController(NewController(v.algo, f.Sender))
-			var maxRTT time.Duration
-			f.Sender.OnAckTrace = func(now time.Duration, cwnd int64, srtt time.Duration, delivered int64) {
-				if srtt > maxRTT {
-					maxRTT = srtt
-				}
+			items = append(items, item{v, it})
+		}
+	}
+	outs := runner.Map(cfg.ctx, items, func(_ context.Context, _ int, im item) (aqmRun, error) {
+		sim := netsim.NewSimulator()
+		rtt := 100 * time.Millisecond
+		rate := 1e8
+		bdp := rate / 8 * rtt.Seconds()
+		p := netsim.NewPath(sim, netsim.PathSpec{Forward: []netsim.LinkConfig{
+			{Name: "core", Rate: 1e9, Delay: rtt/2 - 5*time.Millisecond, QueueBytes: 64 << 20},
+			{Name: "bneck", Rate: rate, Delay: 5 * time.Millisecond, QueueBytes: int(bdp), Qdisc: im.v.qdisc},
+		}})
+		f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
+		f.Sender.SetController(NewController(im.v.algo, f.Sender))
+		var maxRTT time.Duration
+		f.Sender.OnAckTrace = func(now time.Duration, cwnd int64, srtt time.Duration, delivered int64) {
+			if srtt > maxRTT {
+				maxRTT = srtt
 			}
-			f.StartAt(sim, 0)
-			sim.Run(20 * time.Minute)
-			if !f.Done() {
-				panic("experiments: AQM comparison flow did not complete")
+		}
+		f.StartAt(sim, 0)
+		sim.Run(20 * time.Minute)
+		if !f.Done() {
+			return aqmRun{}, fmt.Errorf("AQM %s iter=%d: %w", im.v.name, im.it, runner.ErrIncomplete)
+		}
+		st := p.Fwd[1].Stats()
+		r := aqmRun{fct: f.FCT().Seconds(), maxRTTms: float64(maxRTT) / 1e6}
+		if off := st.EnqueuedPackets + st.DroppedPackets; off > 0 {
+			r.loss = float64(st.DroppedPackets) / float64(off)
+			r.hasLoss = true
+		}
+		return r, nil
+	}, cfg.pool())
+
+	for vi, v := range variants {
+		var fcts, losses, maxRTTs []float64
+		for _, o := range outs[vi*iters : (vi+1)*iters] {
+			if o.Err != nil {
+				res.Incomplete++
+				continue
 			}
-			st := p.Fwd[1].Stats()
-			fcts = append(fcts, f.FCT().Seconds())
-			if off := st.EnqueuedPackets + st.DroppedPackets; off > 0 {
-				losses = append(losses, float64(st.DroppedPackets)/float64(off))
+			fcts = append(fcts, o.Value.fct)
+			if o.Value.hasLoss {
+				losses = append(losses, o.Value.loss)
 			}
-			maxRTTs = append(maxRTTs, float64(maxRTT)/1e6)
+			maxRTTs = append(maxRTTs, o.Value.maxRTTms)
 		}
 		res.Variants = append(res.Variants, v.name)
 		res.FCT = append(res.FCT, stats.Mean(fcts))
@@ -316,6 +383,9 @@ func (r AQMResult) Render() string {
 	fmt.Fprintf(&b, "  %-18s %10s %10s %12s\n", "variant", "FCT", "loss", "max sRTT")
 	for i, v := range r.Variants {
 		fmt.Fprintf(&b, "  %-18s %9.3fs %9.3f%% %10.1fms\n", v, r.FCT[i], 100*r.Loss[i], r.MaxRTTms[i])
+	}
+	if r.Incomplete > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d run(s) did not complete (excluded)\n", r.Incomplete)
 	}
 	return b.String()
 }

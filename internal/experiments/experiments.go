@@ -3,100 +3,93 @@
 // catalog. Each runner returns a typed result with a Render method
 // that prints rows shaped like the paper's plots; cmd/sussbench and
 // the top-level benchmarks drive them.
+//
+// Sweeps are declared as job slices and executed by internal/runner's
+// bounded worker pool (see Option); because every job is an
+// independent, instance-seeded simulation and results are collected by
+// job index, rendered output is identical at any worker count.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"time"
 
-	"suss/internal/bbr"
 	"suss/internal/cc"
 	"suss/internal/core"
-	"suss/internal/cubic"
-	"suss/internal/netsim"
+	"suss/internal/runner"
 	"suss/internal/scenarios"
 	"suss/internal/tcp"
 )
 
-// Algo selects a congestion-control algorithm for a flow.
-type Algo int
+// Algo selects a congestion-control algorithm for a flow. It is the
+// runner package's catalog, re-exported so experiment call sites stay
+// concise.
+type Algo = runner.Algo
 
 const (
 	// Cubic is CUBIC with HyStart, SUSS off (the paper's baseline).
-	Cubic Algo = iota
+	Cubic = runner.Cubic
 	// Suss is CUBIC with the SUSS add-on enabled.
-	Suss
+	Suss = runner.Suss
 	// BBR is BBRv1.
-	BBR
+	BBR = runner.BBR
 	// BBR2 is the BBRv2-lite variant.
-	BBR2
-	// CubicHSPP is CUBIC with HyStart++ (RFC 9406) instead of classic
-	// HyStart — the related-work slow-start exit the paper positions
-	// SUSS against.
-	CubicHSPP
+	BBR2 = runner.BBR2
+	// CubicHSPP is CUBIC with HyStart++ (RFC 9406).
+	CubicHSPP = runner.CubicHSPP
 	// BBRSuss is the paper's §7 future work: BBRv1 with SUSS-style
-	// growth prediction doubling STARTUP's gains.
-	BBRSuss
+	// growth prediction.
+	BBRSuss = runner.BBRSuss
 )
-
-func (a Algo) String() string {
-	switch a {
-	case Cubic:
-		return "cubic"
-	case Suss:
-		return "cubic+suss"
-	case BBR:
-		return "bbr"
-	case BBR2:
-		return "bbr2"
-	case CubicHSPP:
-		return "cubic+hspp"
-	case BBRSuss:
-		return "bbr+suss"
-	default:
-		return "unknown"
-	}
-}
 
 // NewController builds a's controller bound to sender s.
 func NewController(a Algo, s *tcp.Sender) cc.Controller {
-	switch a {
-	case Cubic:
-		return cubic.New(s, cubic.DefaultOptions())
-	case Suss:
-		return core.New(s, core.DefaultOptions())
-	case BBR:
-		return bbr.New(s, bbr.DefaultOptions())
-	case BBR2:
-		return bbr.New(s, bbr.V2Options())
-	case CubicHSPP:
-		opt := cubic.DefaultOptions()
-		opt.HyStartPP = true
-		return cubic.New(s, opt)
-	case BBRSuss:
-		return bbr.New(s, bbr.SUSSOptions())
-	default:
-		panic("experiments: unknown algo")
-	}
+	return runner.NewController(a, s)
 }
 
 // SussOptions lets ablation runs customize the SUSS configuration.
 type SussOptions = core.Options
 
 // DownloadResult captures one file download.
-type DownloadResult struct {
-	Algo        Algo
-	Size        int64
-	FCT         time.Duration // receiver-side (paper's wget-style FCT)
-	Delivered   int64
-	Segments    int
-	Retrans     int
-	RTOs        int
-	Drops       int     // bottleneck + last-hop drops (congestion + erasures)
-	LossRate    float64 // drops / data packets offered to the last hop
-	MaxG        int     // SUSS only
-	AccelRounds int     // SUSS only
-	Completed   bool
+type DownloadResult = runner.DownloadResult
+
+// Option configures how a sweep executes (worker count, cancellation,
+// progress reporting). The zero configuration runs on GOMAXPROCS
+// workers; the numbers are identical at any worker count.
+type Option func(*config)
+
+type config struct {
+	ctx      context.Context
+	workers  int
+	progress func(done, total int)
+}
+
+func newConfig(opts []Option) config {
+	c := config{ctx: context.Background()}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c config) pool() runner.Options {
+	return runner.Options{Workers: c.workers, Progress: c.progress}
+}
+
+// WithWorkers bounds the sweep's concurrency (≤ 0 = GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithContext makes the sweep cancellable; jobs not yet started when
+// ctx is cancelled become error-carrying results.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
+}
+
+// WithProgress installs a per-job completion callback (serialized).
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *config) { c.progress = fn }
 }
 
 // Download runs one file transfer over an internet-matrix scenario.
@@ -105,62 +98,53 @@ type DownloadResult struct {
 // sussOpt overrides the SUSS configuration when algo == Suss and
 // sussOpt != nil.
 func Download(sc scenarios.Scenario, algo Algo, size int64, iter int, sussOpt *SussOptions) DownloadResult {
-	sc.Seed = sc.Seed*1000003 + int64(iter)*7919 + 1
-	sim := netsim.NewSimulator()
-	p, _ := sc.Build(sim)
-	cfg := tcp.DefaultConfig()
-	f := tcp.NewFlow(sim, cfg, 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), size, nil)
-	var ctrl cc.Controller
-	if algo == Suss && sussOpt != nil {
-		ctrl = core.New(f.Sender, *sussOpt)
-	} else {
-		ctrl = NewController(algo, f.Sender)
-	}
-	f.Sender.SetController(ctrl)
-	f.StartAt(sim, 0)
-	// Generous horizon: FCTs here are seconds, not minutes.
-	sim.Run(20 * time.Minute)
-	sim.StopWhen(nil)
-
-	last := p.Fwd[len(p.Fwd)-1]
-	lst := last.Stats()
-	res := DownloadResult{
-		Algo:      algo,
-		Size:      size,
-		FCT:       f.FCT(),
-		Delivered: f.Sender.Delivered(),
-		Segments:  f.Sender.Stats().SegmentsSent,
-		Retrans:   f.Sender.Stats().Retransmissions,
-		RTOs:      f.Sender.Stats().RTOs,
-		Drops:     lst.DroppedPackets + lst.ErasedPackets,
-		Completed: f.Done(),
-	}
-	offered := lst.EnqueuedPackets + lst.DroppedPackets
-	if offered > 0 {
-		res.LossRate = float64(res.Drops) / float64(offered)
-	}
-	if s, ok := ctrl.(*core.Suss); ok {
-		res.MaxG = s.Stats().MaxG
-		res.AccelRounds = s.Stats().AcceleratedRounds
-	}
-	return res
+	return runner.Download(runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: iter, SussOpt: sussOpt})
 }
 
-// FCTs runs iters downloads and returns completion times in seconds
-// plus the mean loss rate.
-func FCTs(sc scenarios.Scenario, algo Algo, size int64, iters int) (fcts []float64, meanLoss float64) {
+// batch summarizes a slice of runner results: completion times in
+// seconds and mean loss over the completed runs, plus the failures.
+type batch struct {
+	fcts       []float64
+	meanLoss   float64
+	incomplete int
+	firstErr   error
+}
+
+func summarizeBatch(res []runner.Result) batch {
+	var b batch
 	var loss float64
-	for i := 0; i < iters; i++ {
-		r := Download(sc, algo, size, i, nil)
-		if !r.Completed {
-			// A non-completing flow is a bug in the stack, not a data
-			// point; surface it loudly.
-			panic(fmt.Sprintf("experiments: %s %s size=%d iter=%d did not complete", sc.Name(), algo, size, i))
+	for _, r := range res {
+		if r.Err != nil {
+			b.incomplete++
+			if b.firstErr == nil {
+				b.firstErr = r.Err
+			}
+			continue
 		}
-		fcts = append(fcts, r.FCT.Seconds())
+		b.fcts = append(b.fcts, r.FCT.Seconds())
 		loss += r.LossRate
 	}
-	return fcts, loss / float64(iters)
+	if len(b.fcts) > 0 {
+		b.meanLoss = loss / float64(len(b.fcts))
+	}
+	return b
+}
+
+// FCTs runs iters downloads as one job batch and returns completion
+// times in seconds plus the mean loss rate. A non-completing flow is a
+// bug in the stack, not a data point: it is dropped from fcts and
+// reported through err (the other iterations still run).
+func FCTs(sc scenarios.Scenario, algo Algo, size int64, iters int, opts ...Option) (fcts []float64, meanLoss float64, err error) {
+	cfg := newConfig(opts)
+	jobs := make([]runner.Job, iters)
+	for i := range jobs {
+		jobs[i] = runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: i}
+	}
+	b := summarizeBatch(runner.Run(cfg.ctx, jobs, cfg.pool()))
+	if b.incomplete > 0 {
+		err = fmt.Errorf("experiments: %d/%d downloads failed: %w", b.incomplete, iters, b.firstErr)
+	}
+	return b.fcts, b.meanLoss, err
 }
 
 // Improvement returns the relative FCT gain of b over a: (a-b)/a.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"suss/internal/netem"
+	"suss/internal/runner"
 	"suss/internal/scenarios"
 	"suss/internal/stats"
 )
@@ -24,27 +25,47 @@ type Fig11Result struct {
 	FCT [][][]stats.Summary
 	// Improvement[link][size] is Fig. 12's (cubic−suss)/cubic.
 	Improvement [][]float64
+	// Incomplete counts downloads that never finished; they are
+	// excluded from the summaries.
+	Incomplete int
 }
 
-// RunFig11 sweeps flow sizes × link types × algorithms with the given
-// iteration count.
-func RunFig11(server scenarios.Server, sizes []int64, iters int, seed int64) Fig11Result {
+// RunFig11 declares the whole sweep — link types × flow sizes ×
+// algorithms × iterations — as one job slice and aggregates the
+// results back into the figure's grid.
+func RunFig11(server scenarios.Server, sizes []int64, iters int, seed int64, opts ...Option) Fig11Result {
+	cfg := newConfig(opts)
 	res := Fig11Result{
 		Server: server,
 		Links:  []netem.LinkType{netem.NR5G, netem.Wired, netem.WiFi, netem.LTE4G},
 		Sizes:  sizes,
 		Algos:  []Algo{BBR, Suss, Cubic},
 	}
+	var jobs []runner.Job
 	for li, lt := range res.Links {
 		sc := scenarios.New(server, lt, seed+int64(li))
+		for _, size := range sizes {
+			for _, algo := range res.Algos {
+				for it := 0; it < iters; it++ {
+					jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it})
+				}
+			}
+		}
+	}
+	out := runner.Run(cfg.ctx, jobs, cfg.pool())
+
+	k := 0
+	for range res.Links {
 		var bySize [][]stats.Summary
 		var imp []float64
-		for _, size := range sizes {
+		for range sizes {
 			var byAlgo []stats.Summary
 			var cubicMean, sussMean float64
 			for _, algo := range res.Algos {
-				fcts, _ := FCTs(sc, algo, size, iters)
-				s := stats.Summarize(fcts)
+				b := summarizeBatch(out[k : k+iters])
+				k += iters
+				res.Incomplete += b.incomplete
+				s := stats.Summarize(b.fcts)
 				byAlgo = append(byAlgo, s)
 				switch algo {
 				case Cubic:
@@ -81,6 +102,9 @@ func (r Fig11Result) Render() string {
 			}
 			fmt.Fprintf(&b, " %11.1f%%\n", 100*r.Improvement[li][si])
 		}
+	}
+	if r.Incomplete > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d download(s) did not complete (excluded)\n", r.Incomplete)
 	}
 	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"suss/internal/netem"
+	"suss/internal/runner"
 	"suss/internal/scenarios"
 	"suss/internal/stats"
 )
@@ -17,21 +18,43 @@ type Fig14Result struct {
 	Sizes []int64
 	// Loss[variant][i]: mean loss rate, variant 0 = off, 1 = on.
 	Loss [2][]float64
+	// Incomplete counts downloads that never finished.
+	Incomplete int
 }
 
-// RunFig14 sweeps flow sizes, iters runs each.
-func RunFig14(sizes []int64, iters int, seed int64) Fig14Result {
+// RunFig14 declares the variants × sizes × iterations sweep as one job
+// slice. Loss rates are measured on every run — Fig. 14 plots link
+// behaviour, not completion — but non-completing flows are still
+// counted so the caller can fail loudly.
+func RunFig14(sizes []int64, iters int, seed int64, opts ...Option) Fig14Result {
+	cfg := newConfig(opts)
 	res := Fig14Result{Sizes: sizes}
 	sc := scenarios.New(scenarios.OracleLondon, netem.NR5G, seed)
 	// The London/5G cell already carries the shallow Oracle-egress
 	// buffer calibration (see scenarios.New); tighten slightly so the
 	// 2 MB point still shows slow-start loss.
 	sc.LastHop.BufferBDPs = 0.25
-	for vi, algo := range []Algo{Cubic, Suss} {
+
+	var jobs []runner.Job
+	for _, algo := range []Algo{Cubic, Suss} {
 		for _, size := range sizes {
+			for it := 0; it < iters; it++ {
+				jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it})
+			}
+		}
+	}
+	out := runner.Run(cfg.ctx, jobs, cfg.pool())
+
+	k := 0
+	for vi := 0; vi < 2; vi++ {
+		for range sizes {
 			var rates []float64
 			for it := 0; it < iters; it++ {
-				r := Download(sc, algo, size, it, nil)
+				r := out[k]
+				k++
+				if r.Err != nil {
+					res.Incomplete++
+				}
 				rates = append(rates, r.LossRate)
 			}
 			res.Loss[vi] = append(res.Loss[vi], stats.Mean(rates))
@@ -48,6 +71,9 @@ func (r Fig14Result) Render() string {
 	for i, size := range r.Sizes {
 		fmt.Fprintf(&b, "  %-8s %11.3f%% %11.3f%%\n",
 			SizeLabel(size), 100*r.Loss[0][i], 100*r.Loss[1][i])
+	}
+	if r.Incomplete > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d download(s) did not complete\n", r.Incomplete)
 	}
 	return b.String()
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"suss/internal/runner"
 	"suss/internal/scenarios"
 	"suss/internal/stats"
 )
@@ -81,29 +83,61 @@ type Table1Row struct {
 type Table1Result struct {
 	LargeAlgo Algo
 	Rows      []Table1Row
+	// Failed lists configurations whose testbed run crashed or did not
+	// complete; their rows are omitted.
+	Failed []string
 }
 
 // RunTable1 sweeps buffer ∈ {1,2} BDP × RTT ∈ {25,50,100,200} ms for a
-// large-flow CCA, with the small flows on CUBIC ± SUSS.
-func RunTable1(largeAlgo Algo, largeSize int64) Table1Result {
-	res := Table1Result{LargeAlgo: largeAlgo}
+// large-flow CCA, with the small flows on CUBIC ± SUSS. The 16
+// independent testbed runs (8 configs × off/on) are declared as one
+// item slice and fanned out across the worker pool; a crashing run
+// drops its config into Failed instead of aborting the table.
+func RunTable1(largeAlgo Algo, largeSize int64, opts ...Option) Table1Result {
+	cfg := newConfig(opts)
+	type t1cfg struct {
+		buf float64
+		rtt time.Duration
+	}
+	var cfgs []t1cfg
 	for _, buf := range []float64{1, 2} {
 		for _, rttMs := range []int{25, 50, 100, 200} {
-			rtt := time.Duration(rttMs) * time.Millisecond
-			off := RunFig16(largeAlgo, Cubic, rtt, buf, largeSize)
-			on := RunFig16(largeAlgo, Suss, rtt, buf, largeSize)
-			row := Table1Row{
-				BufferBDP:   buf,
-				RTT:         rtt,
-				LargeFCTOff: off.LargeFCT,
-				SmallFCTOff: stats.Mean(off.SmallFCTs),
-				LargeFCTOn:  on.LargeFCT,
-				SmallFCTOn:  stats.Mean(on.SmallFCTs),
-			}
-			row.ImprovementSmall = Improvement(row.SmallFCTOff, row.SmallFCTOn)
-			row.LargeFCTDelta = (row.LargeFCTOn - row.LargeFCTOff) / row.LargeFCTOff
-			res.Rows = append(res.Rows, row)
+			cfgs = append(cfgs, t1cfg{buf, time.Duration(rttMs) * time.Millisecond})
 		}
+	}
+	type item struct {
+		t1cfg
+		smallAlgo Algo
+	}
+	var items []item
+	for _, c := range cfgs {
+		items = append(items, item{c, Cubic}, item{c, Suss})
+	}
+	outs := runner.Map(cfg.ctx, items, func(_ context.Context, _ int, it item) (Fig16Result, error) {
+		return RunFig16(largeAlgo, it.smallAlgo, it.rtt, it.buf, largeSize), nil
+	}, cfg.pool())
+
+	res := Table1Result{LargeAlgo: largeAlgo}
+	for i, c := range cfgs {
+		off, on := outs[2*i], outs[2*i+1]
+		if err := off.Err; err != nil || on.Err != nil {
+			if err == nil {
+				err = on.Err
+			}
+			res.Failed = append(res.Failed, fmt.Sprintf("buffer=%.1fBDP minRTT=%v: %v", c.buf, c.rtt, err))
+			continue
+		}
+		row := Table1Row{
+			BufferBDP:   c.buf,
+			RTT:         c.rtt,
+			LargeFCTOff: off.Value.LargeFCT,
+			SmallFCTOff: stats.Mean(off.Value.SmallFCTs),
+			LargeFCTOn:  on.Value.LargeFCT,
+			SmallFCTOn:  stats.Mean(on.Value.SmallFCTs),
+		}
+		row.ImprovementSmall = Improvement(row.SmallFCTOff, row.SmallFCTOn)
+		row.LargeFCTDelta = (row.LargeFCTOn - row.LargeFCTOff) / row.LargeFCTOff
+		res.Rows = append(res.Rows, row)
 	}
 	return res
 }
@@ -118,6 +152,9 @@ func (r Table1Result) Render() string {
 		fmt.Fprintf(&b, "  %-6.1f %-7s %9.1fs %9.2fs %9.1fs %9.2fs %7.0f%% %7.1f%%\n",
 			row.BufferBDP, row.RTT, row.LargeFCTOff, row.SmallFCTOff,
 			row.LargeFCTOn, row.SmallFCTOn, 100*row.ImprovementSmall, 100*row.LargeFCTDelta)
+	}
+	for _, f := range r.Failed {
+		fmt.Fprintf(&b, "  FAILED %s\n", f)
 	}
 	return b.String()
 }

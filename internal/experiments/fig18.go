@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"suss/internal/runner"
 	"suss/internal/scenarios"
 	"suss/internal/stats"
 )
@@ -22,6 +23,9 @@ type MatrixCell struct {
 	Improvement []float64
 	// Loss[size][algo]: mean loss rate.
 	Loss [][]float64
+	// Incomplete counts downloads that never finished; they are
+	// excluded from the summaries.
+	Incomplete int
 }
 
 // MatrixResult is the full 28-scenario sweep.
@@ -29,32 +33,41 @@ type MatrixResult struct {
 	Cells []MatrixCell
 }
 
-// RunMatrix sweeps all 28 scenarios. Fig. 17 uses the loss columns,
-// Fig. 18 the FCT and improvement columns.
-func RunMatrix(sizes []int64, iters int, seed int64) MatrixResult {
-	var res MatrixResult
-	for _, sc := range scenarios.All(seed) {
-		res.Cells = append(res.Cells, RunMatrixCell(sc, sizes, iters))
+// matrixAlgos orders each cell's algorithm columns.
+var matrixAlgos = []Algo{BBR, Suss, Cubic}
+
+// cellJobs declares one scenario cell's sweep: sizes × algos × iters.
+func cellJobs(sc scenarios.Scenario, sizes []int64, iters int) []runner.Job {
+	var jobs []runner.Job
+	for _, size := range sizes {
+		for _, algo := range matrixAlgos {
+			for it := 0; it < iters; it++ {
+				jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it})
+			}
+		}
 	}
-	return res
+	return jobs
 }
 
-// RunMatrixCell sweeps one scenario.
-func RunMatrixCell(sc scenarios.Scenario, sizes []int64, iters int) MatrixCell {
+// buildCell aggregates a cell's job results (ordered as cellJobs).
+func buildCell(sc scenarios.Scenario, sizes []int64, iters int, out []runner.Result) MatrixCell {
 	cell := MatrixCell{
 		Scenario: sc,
 		Sizes:    sizes,
-		Algos:    []Algo{BBR, Suss, Cubic},
+		Algos:    matrixAlgos,
 	}
-	for _, size := range sizes {
+	k := 0
+	for range sizes {
 		var fcts []stats.Summary
 		var losses []float64
 		var cubicMean, sussMean float64
 		for _, algo := range cell.Algos {
-			xs, loss := FCTs(sc, algo, size, iters)
-			s := stats.Summarize(xs)
+			b := summarizeBatch(out[k : k+iters])
+			k += iters
+			cell.Incomplete += b.incomplete
+			s := stats.Summarize(b.fcts)
 			fcts = append(fcts, s)
-			losses = append(losses, loss)
+			losses = append(losses, b.meanLoss)
 			switch algo {
 			case Cubic:
 				cubicMean = s.Mean
@@ -67,6 +80,33 @@ func RunMatrixCell(sc scenarios.Scenario, sizes []int64, iters int) MatrixCell {
 		cell.Improvement = append(cell.Improvement, Improvement(cubicMean, sussMean))
 	}
 	return cell
+}
+
+// RunMatrix sweeps all 28 scenarios as a single job batch — every
+// (scenario, size, algo, iteration) download fans out across the
+// worker pool at once. Fig. 17 uses the loss columns, Fig. 18 the FCT
+// and improvement columns.
+func RunMatrix(sizes []int64, iters int, seed int64, opts ...Option) MatrixResult {
+	cfg := newConfig(opts)
+	scs := scenarios.All(seed)
+	var jobs []runner.Job
+	for _, sc := range scs {
+		jobs = append(jobs, cellJobs(sc, sizes, iters)...)
+	}
+	out := runner.Run(cfg.ctx, jobs, cfg.pool())
+
+	var res MatrixResult
+	per := len(sizes) * len(matrixAlgos) * iters
+	for ci, sc := range scs {
+		res.Cells = append(res.Cells, buildCell(sc, sizes, iters, out[ci*per:(ci+1)*per]))
+	}
+	return res
+}
+
+// RunMatrixCell sweeps one scenario.
+func RunMatrixCell(sc scenarios.Scenario, sizes []int64, iters int, opts ...Option) MatrixCell {
+	cfg := newConfig(opts)
+	return buildCell(sc, sizes, iters, runner.Run(cfg.ctx, cellJobs(sc, sizes, iters), cfg.pool()))
 }
 
 // Render prints a cell in Fig. 18's per-panel format.
@@ -88,7 +128,19 @@ func (c MatrixCell) Render() string {
 			100*c.Improvement[si],
 			100*c.Loss[si][0], 100*c.Loss[si][1], 100*c.Loss[si][2])
 	}
+	if c.Incomplete > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d download(s) did not complete (excluded)\n", c.Incomplete)
+	}
 	return b.String()
+}
+
+// Incomplete sums the non-completing downloads across cells.
+func (r MatrixResult) Incomplete() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += c.Incomplete
+	}
+	return n
 }
 
 // Render prints every cell.

@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"suss/internal/bbr"
+	"suss/internal/cc"
+	"suss/internal/core"
+	"suss/internal/cubic"
+	"suss/internal/tcp"
+)
+
+// Algo selects a congestion-control algorithm for a flow.
+type Algo int
+
+const (
+	// Cubic is CUBIC with HyStart, SUSS off (the paper's baseline).
+	Cubic Algo = iota
+	// Suss is CUBIC with the SUSS add-on enabled.
+	Suss
+	// BBR is BBRv1.
+	BBR
+	// BBR2 is the BBRv2-lite variant.
+	BBR2
+	// CubicHSPP is CUBIC with HyStart++ (RFC 9406) instead of classic
+	// HyStart — the related-work slow-start exit the paper positions
+	// SUSS against.
+	CubicHSPP
+	// BBRSuss is the paper's §7 future work: BBRv1 with SUSS-style
+	// growth prediction doubling STARTUP's gains.
+	BBRSuss
+)
+
+func (a Algo) String() string {
+	switch a {
+	case Cubic:
+		return "cubic"
+	case Suss:
+		return "cubic+suss"
+	case BBR:
+		return "bbr"
+	case BBR2:
+		return "bbr2"
+	case CubicHSPP:
+		return "cubic+hspp"
+	case BBRSuss:
+		return "bbr+suss"
+	default:
+		return "unknown"
+	}
+}
+
+// NewController builds a's controller bound to sender s.
+func NewController(a Algo, s *tcp.Sender) cc.Controller {
+	switch a {
+	case Cubic:
+		return cubic.New(s, cubic.DefaultOptions())
+	case Suss:
+		return core.New(s, core.DefaultOptions())
+	case BBR:
+		return bbr.New(s, bbr.DefaultOptions())
+	case BBR2:
+		return bbr.New(s, bbr.V2Options())
+	case CubicHSPP:
+		opt := cubic.DefaultOptions()
+		opt.HyStartPP = true
+		return cubic.New(s, opt)
+	case BBRSuss:
+		return bbr.New(s, bbr.SUSSOptions())
+	default:
+		panic("runner: unknown algo")
+	}
+}

@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"suss/internal/cc"
+	"suss/internal/core"
+	"suss/internal/netsim"
+	"suss/internal/scenarios"
+	"suss/internal/tcp"
+)
+
+// DefaultHorizon bounds a single download simulation. FCTs in the
+// evaluation are seconds, not minutes, so a flow still running at the
+// horizon is pathological and reported as incomplete.
+const DefaultHorizon = 20 * time.Minute
+
+// ErrIncomplete marks a download whose flow did not finish within the
+// horizon.
+var ErrIncomplete = errors.New("flow did not complete within the horizon")
+
+// Job declares one seeded file download over an internet-matrix
+// scenario: the unit of work every sweep in the evaluation fans out
+// over. Iter perturbs the impairment seed so repeated runs sample the
+// stochastic wireless models, mirroring the paper's 50 iterations; the
+// effective seed depends only on (Scenario.Seed, Iter), never on
+// execution order.
+type Job struct {
+	Scenario scenarios.Scenario
+	Algo     Algo
+	Size     int64
+	Iter     int
+	// SussOpt overrides the SUSS configuration when Algo == Suss (nil
+	// = defaults); ablations use it to disable individual mechanisms.
+	SussOpt *core.Options
+	// Horizon caps simulated time (0 = DefaultHorizon).
+	Horizon time.Duration
+}
+
+func (j Job) describe() string {
+	return fmt.Sprintf("%s %s size=%d iter=%d", j.Scenario.Name(), j.Algo, j.Size, j.Iter)
+}
+
+// DownloadResult captures one file download.
+type DownloadResult struct {
+	Algo        Algo
+	Size        int64
+	FCT         time.Duration // receiver-side (paper's wget-style FCT)
+	Delivered   int64
+	Segments    int
+	Retrans     int
+	RTOs        int
+	Drops       int     // bottleneck + last-hop drops (congestion + erasures)
+	LossRate    float64 // drops / data packets offered to the last hop
+	PeakQueue   int     // max bottleneck queue occupancy (bytes)
+	MaxG        int     // SUSS only
+	AccelRounds int     // SUSS only
+	Completed   bool
+}
+
+// Result pairs a job with its measurement. Err is non-nil when the
+// flow did not complete (wrapping ErrIncomplete), when the simulation
+// panicked (*PanicError), or when the batch was cancelled; the
+// embedded DownloadResult still carries whatever was measured.
+type Result struct {
+	Job Job
+	DownloadResult
+	Err error
+}
+
+// Download executes one job synchronously. It is the single-simulation
+// primitive all experiment sweeps reduce to.
+func Download(j Job) DownloadResult {
+	sc := j.Scenario
+	sc.Seed = sc.Seed*1000003 + int64(j.Iter)*7919 + 1
+	sim := netsim.NewSimulator()
+	p, _ := sc.Build(sim)
+	cfg := tcp.DefaultConfig()
+	f := tcp.NewFlow(sim, cfg, 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), j.Size, nil)
+	var ctrl cc.Controller
+	if j.Algo == Suss && j.SussOpt != nil {
+		ctrl = core.New(f.Sender, *j.SussOpt)
+	} else {
+		ctrl = NewController(j.Algo, f.Sender)
+	}
+	f.Sender.SetController(ctrl)
+	f.StartAt(sim, 0)
+	horizon := j.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	sim.Run(horizon)
+
+	last := p.Fwd[len(p.Fwd)-1]
+	lst := last.Stats()
+	res := DownloadResult{
+		Algo:      j.Algo,
+		Size:      j.Size,
+		FCT:       f.FCT(),
+		Delivered: f.Sender.Delivered(),
+		Segments:  f.Sender.Stats().SegmentsSent,
+		Retrans:   f.Sender.Stats().Retransmissions,
+		RTOs:      f.Sender.Stats().RTOs,
+		Drops:     lst.DroppedPackets + lst.ErasedPackets,
+		PeakQueue: lst.MaxQueueBytes,
+		Completed: f.Done(),
+	}
+	offered := lst.EnqueuedPackets + lst.DroppedPackets
+	if offered > 0 {
+		res.LossRate = float64(res.Drops) / float64(offered)
+	}
+	if s, ok := ctrl.(*core.Suss); ok {
+		res.MaxG = s.Stats().MaxG
+		res.AccelRounds = s.Stats().AcceleratedRounds
+	}
+	return res
+}
+
+// Run executes a job batch on the worker pool and returns results in
+// job order. One pathological job fails loudly as an error-carrying
+// result without aborting the rest of the sweep.
+func Run(ctx context.Context, jobs []Job, opt Options) []Result {
+	outs := Map(ctx, jobs, func(_ context.Context, _ int, j Job) (DownloadResult, error) {
+		r := Download(j)
+		if !r.Completed {
+			return r, fmt.Errorf("%s: %w", j.describe(), ErrIncomplete)
+		}
+		return r, nil
+	}, opt)
+	res := make([]Result, len(jobs))
+	for i := range outs {
+		res[i] = Result{Job: jobs[i], DownloadResult: outs[i].Value, Err: outs[i].Err}
+	}
+	return res
+}

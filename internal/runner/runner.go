@@ -1,0 +1,133 @@
+// Package runner is the evaluation layer's execution engine: a
+// declarative job model (one seeded simulation per Job) executed on a
+// bounded worker pool with deterministic result collection.
+//
+// Every data point in the paper's evaluation is an independent
+// simulation whose randomness is fully determined by its own seed
+// (scenarios.Build seeds a private RNG per simulator instance), so
+// jobs can run on any number of workers without changing the numbers.
+// The pool guarantees the stronger property the experiment runners
+// rely on: results are collected by job index, never by completion
+// order, so rendered output is byte-identical at any worker count.
+//
+// A job that panics becomes an error-carrying result instead of
+// killing the sweep, and cancelling the context drains the remaining
+// jobs as ctx.Err() results.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Options configures pool execution.
+type Options struct {
+	// Workers bounds concurrent jobs; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after each job finishes with
+	// the number of completed jobs and the batch total. Calls are
+	// serialized; done is strictly increasing.
+	Progress func(done, total int)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Outcome carries one item's result or the error that replaced it.
+type Outcome[R any] struct {
+	Value R
+	Err   error
+}
+
+// PanicError is the error a panicking job is converted into.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.Index, e.Value)
+}
+
+// Map runs fn over every item on a bounded worker pool and returns the
+// outcomes indexed like items, regardless of completion order. A panic
+// in fn becomes a *PanicError outcome; once ctx is cancelled, jobs not
+// yet started complete immediately with ctx.Err().
+func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, index int, item T) (R, error), opt Options) []Outcome[R] {
+	out := make([]Outcome[R], len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opt.workers()
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	finish := func() {
+		if opt.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		opt.Progress(done, len(items))
+		mu.Unlock()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					out[i] = Outcome[R]{Err: err}
+				} else {
+					out[i] = runOne(ctx, i, items[i], fn)
+				}
+				finish()
+			}
+		}()
+	}
+
+dispatch:
+	for i := range items {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			for j := i; j < len(items); j++ {
+				out[j] = Outcome[R]{Err: ctx.Err()}
+				finish()
+			}
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+func runOne[T, R any](ctx context.Context, i int, item T, fn func(ctx context.Context, index int, item T) (R, error)) (o Outcome[R]) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = Outcome[R]{Err: &PanicError{Index: i, Value: r, Stack: debug.Stack()}}
+		}
+	}()
+	v, err := fn(ctx, i, item)
+	return Outcome[R]{Value: v, Err: err}
+}
