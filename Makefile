@@ -1,10 +1,18 @@
 GO ?= go
 
-.PHONY: check build vet test race bench clean
+# Benchmark comparison knobs (see bench-baseline / bench-compare).
+BENCH ?= BenchmarkFig11FCTvsFlowSize
+BENCH_COUNT ?= 5
+BENCH_BASELINE ?= bench.baseline.txt
+BENCH_HEAD ?= bench.head.txt
 
-# The full gate CI runs: build + vet + tests + race pass over the
+.PHONY: check build vet test testdebug race bench bench-baseline bench-compare clean
+
+# The full gate CI runs: build + vet + tests (including the
+# AllocsPerRun zero-allocation gates in internal/netsim) + the
+# sussdebug lifecycle-detector pass + race pass over the
 # concurrency-bearing packages.
-check: build vet test race
+check: build vet test testdebug race
 
 build:
 	$(GO) build ./...
@@ -15,6 +23,13 @@ vet:
 test:
 	$(GO) test ./...
 
+# The sussdebug build tag arms the packet-lifecycle detector
+# (double-release and use-after-release panic; the pool sequesters
+# instead of recycling). The pooled hot-path packages get a pass with
+# it on.
+testdebug:
+	$(GO) test -tags sussdebug ./internal/netsim ./internal/tcp
+
 # The worker pool and the experiment sweeps built on it are the only
 # packages that spawn goroutines; they get a dedicated race pass.
 race:
@@ -22,6 +37,23 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-baseline records $(BENCH) on the current tree (run it on the
+# base commit); bench-compare reruns it on HEAD and diffs the two with
+# benchstat when available.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) . | tee $(BENCH_BASELINE)
+
+bench-compare:
+	@test -f $(BENCH_BASELINE) || { \
+		echo "missing $(BENCH_BASELINE): check out the base commit and run 'make bench-baseline' first"; exit 1; }
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) . | tee $(BENCH_HEAD)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_BASELINE) $(BENCH_HEAD); \
+	else \
+		echo "benchstat not installed; compare $(BENCH_BASELINE) and $(BENCH_HEAD) by hand:"; \
+		grep -h '^Benchmark' $(BENCH_BASELINE) $(BENCH_HEAD); \
+	fi
 
 clean:
 	$(GO) clean ./...

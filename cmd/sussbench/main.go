@@ -9,6 +9,7 @@
 //	sussbench -iters 10       # more repetitions per data point
 //	sussbench -quick          # reduced sweep for a fast smoke pass
 //	sussbench -parallel 8     # worker pool size (0 = GOMAXPROCS)
+//	sussbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Sweep experiments fan their independent simulations out over a
 // bounded worker pool (internal/runner). Results are collected by job
@@ -29,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,6 +39,13 @@ import (
 )
 
 func main() {
+	// run does the actual work; main only translates its code into
+	// os.Exit after the profile defers inside run have flushed (an
+	// os.Exit inline would truncate the pprof files).
+	os.Exit(run())
+}
+
+func run() int {
 	only := flag.String("only", "", "run a single experiment id (empty = all)")
 	iters := flag.Int("iters", 5, "iterations per stochastic data point")
 	seed := flag.Int64("seed", 1, "base RNG seed")
@@ -44,12 +53,48 @@ func main() {
 	outDir := flag.String("out", "", "also write CSV data files to this directory (fig11, matrix)")
 	parallel := flag.Int("parallel", 0, "worker pool size for sweep experiments (0 = GOMAXPROCS)")
 	noProgress := flag.Bool("no-progress", false, "suppress the stderr progress line")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cannot start CPU profile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cannot create -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the snapshot is meaningful
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "cannot write -memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote allocation profile to %s\n", *memProfile)
+		}()
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "cannot create -out dir: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	writeCSV := func(name string, fn func(io.Writer) error) {
@@ -237,7 +282,7 @@ func main() {
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-		os.Exit(2)
+		return 2
 	}
 	workers := *parallel
 	if workers <= 0 {
@@ -246,8 +291,9 @@ func main() {
 	fmt.Printf("completed in %v (wall clock, %d workers)\n", time.Since(start).Round(time.Millisecond), workers)
 	if incomplete > 0 {
 		fmt.Fprintf(os.Stderr, "ERROR: %d simulation(s) did not complete\n", incomplete)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func emit(s string) {

@@ -125,16 +125,21 @@ func (l *Link) RateAt(now time.Duration) float64 { return l.rate(now) }
 // PropagationDelay returns the configured fixed one-way delay.
 func (l *Link) PropagationDelay() time.Duration { return l.cfg.Delay }
 
-// Enqueue offers a packet to the link. If the queue discipline
-// refuses it (tail drop) the packet is lost and OnDrop fires with
-// congestion=true.
+// Enqueue offers a packet to the link, transferring ownership: the
+// link either carries the packet to the destination node or releases
+// it on a drop. If the queue discipline refuses it (tail drop) the
+// packet is lost and OnDrop fires with congestion=true; the packet is
+// released after the callback returns, so drop observers must copy,
+// not retain.
 func (l *Link) Enqueue(pkt *Packet) {
+	debugCheckLive(pkt, "link enqueue")
 	if !l.qdisc.Enqueue(l.sim.Now(), pkt) {
 		l.stats.DroppedPackets++
 		l.stats.DroppedBytes += int64(pkt.Size)
 		if l.OnDrop != nil {
 			l.OnDrop(pkt, true)
 		}
+		pkt.Release()
 		return
 	}
 	l.stats.EnqueuedPackets++
@@ -147,6 +152,14 @@ func (l *Link) Enqueue(pkt *Packet) {
 	}
 }
 
+// linkFinishTransmitEv and linkDeliverEv are the link's two
+// per-packet events as capture-free EventFuncs: scheduling them
+// stores (link, packet) in the timer slot instead of building a
+// capturing closure, so the serialize→propagate→deliver pipeline
+// allocates nothing.
+func linkFinishTransmitEv(ctx, arg any) { ctx.(*Link).finishTransmit(arg.(*Packet)) }
+func linkDeliverEv(ctx, arg any)       { ctx.(*Link).deliver(arg.(*Packet)) }
+
 func (l *Link) startTransmit() {
 	pkt, dropped := l.qdisc.Dequeue(l.sim.Now())
 	for _, d := range dropped {
@@ -156,6 +169,7 @@ func (l *Link) startTransmit() {
 		if l.OnDrop != nil {
 			l.OnDrop(d, true)
 		}
+		d.Release()
 	}
 	if pkt == nil {
 		l.busy = false
@@ -167,7 +181,7 @@ func (l *Link) startTransmit() {
 		panic(fmt.Sprintf("netsim: link %q rate model returned %v", l.cfg.Name, rate))
 	}
 	txTime := time.Duration(float64(pkt.Size*8) / rate * float64(time.Second))
-	l.sim.Schedule(txTime, func() { l.finishTransmit(pkt) })
+	l.sim.ScheduleEvent(txTime, linkFinishTransmitEv, l, pkt)
 }
 
 func (l *Link) finishTransmit(pkt *Packet) {
@@ -180,6 +194,7 @@ func (l *Link) finishTransmit(pkt *Packet) {
 		if l.OnDrop != nil {
 			l.OnDrop(pkt, false)
 		}
+		pkt.Release()
 		return
 	}
 
@@ -194,9 +209,13 @@ func (l *Link) finishTransmit(pkt *Packet) {
 		arrival = l.lastArrival
 	}
 	l.lastArrival = arrival
-	l.sim.ScheduleAt(arrival, func() {
-		l.stats.DeliveredPackets++
-		l.stats.DeliveredBytes += int64(pkt.Size)
-		l.dst.Deliver(pkt)
-	})
+	l.sim.ScheduleEventAt(arrival, linkDeliverEv, l, pkt)
+}
+
+// deliver hands a fully-propagated packet to the destination node,
+// transferring ownership (routers forward it, endpoints release it).
+func (l *Link) deliver(pkt *Packet) {
+	l.stats.DeliveredPackets++
+	l.stats.DeliveredBytes += int64(pkt.Size)
+	l.dst.Deliver(pkt)
 }

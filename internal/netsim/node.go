@@ -30,6 +30,7 @@ func (r *Router) AddRoute(dst NodeID, link *Link) { r.routes[dst] = link }
 // Packets with no route panic: a simulation wiring bug, not a runtime
 // condition.
 func (r *Router) Deliver(pkt *Packet) {
+	debugCheckLive(pkt, "router deliver")
 	link, ok := r.routes[pkt.Dst]
 	if !ok {
 		panic(fmt.Sprintf("netsim: router %q has no route to node %d", r.name, pkt.Dst))
@@ -68,19 +69,24 @@ func (h *Host) SetOutput(l *Link) { h.out = l }
 func (h *Host) Output() *Link { return h.out }
 
 // Send stamps the packet with the host address and pushes it onto the
-// output link.
+// output link, transferring ownership of pooled packets to the
+// network (the link releases drops; the consuming endpoint releases
+// deliveries).
 func (h *Host) Send(pkt *Packet) {
 	if h.out == nil {
 		panic(fmt.Sprintf("netsim: host %q has no output link", h.name))
 	}
+	debugCheckLive(pkt, "host send")
 	pkt.Src = h.id
 	h.out.Enqueue(pkt)
 }
 
-// Deliver implements Node.
+// Deliver implements Node. Ownership of the packet passes to the
+// handler, which must release pooled packets once done with them.
 func (h *Host) Deliver(pkt *Packet) {
 	if h.handler == nil {
 		panic(fmt.Sprintf("netsim: host %q has no handler", h.name))
 	}
+	debugCheckLive(pkt, "host deliver")
 	h.handler(pkt)
 }

@@ -28,9 +28,22 @@ func (k PacketKind) String() string {
 	}
 }
 
+// MaxSack is the number of selective-ack ranges an ACK can carry
+// (RFC 2018 with a timestamp option leaves room for three).
+const MaxSack = 3
+
 // Packet is the unit moved through links and routers. Transport
 // endpoints populate the header fields they need; the network layer
 // only reads Size, Dst and (for tracing) Flow/Kind.
+//
+// Hot-path packets come from a PacketPool (see Simulator.Pool) and
+// follow a single-owner lifecycle: whoever holds the packet — a
+// queueing link, then the destination endpoint — must either pass it
+// on or Release it exactly once. Observers (trace samplers, OnData /
+// OnDrop callbacks, Loss and Jitter functions) must copy any fields
+// they keep; retaining the pointer past the callback reads recycled
+// memory. Packets built directly with a literal (tests, ad-hoc
+// traffic) have no pool and Release on them is a no-op.
 type Packet struct {
 	Flow FlowID
 	Kind PacketKind
@@ -49,8 +62,12 @@ type Packet struct {
 	// CumAck is the cumulative acknowledgment: every byte below it has
 	// been received. Valid for Kind == Ack.
 	CumAck int64
-	// SACK holds up to three selective-ack ranges above CumAck.
-	SACK []SackRange
+	// SACK holds up to MaxSack selective-ack ranges above CumAck;
+	// NSack of them are valid. The array is inline so SACK-bearing
+	// ACKs allocate nothing — use SackRanges or AddSack rather than
+	// touching the pair directly.
+	SACK  [MaxSack]SackRange
+	NSack uint8
 	// EchoTS echoes the sender's departure timestamp so the sender can
 	// take an RTT sample without keeping per-packet state. Retransmitted
 	// segments clear it (Karn's rule).
@@ -63,6 +80,28 @@ type Packet struct {
 	// SentAt is stamped by the sending endpoint when the packet enters
 	// the first link. Used for tracing only.
 	SentAt time.Duration
+
+	// pool is the free list this packet returns to on Release; nil for
+	// packets built with a literal. freed is the sussdebug
+	// use-after-release flag (see pool_debug.go).
+	pool  *PacketPool
+	freed bool
+}
+
+// SackRanges returns the valid selective-ack ranges as a slice view
+// into the packet's inline array (no allocation). The view is only
+// valid while the caller owns the packet.
+func (p *Packet) SackRanges() []SackRange { return p.SACK[:p.NSack] }
+
+// AddSack appends a selective-ack range, reporting false when the
+// inline array is full.
+func (p *Packet) AddSack(r SackRange) bool {
+	if int(p.NSack) >= MaxSack {
+		return false
+	}
+	p.SACK[p.NSack] = r
+	p.NSack++
+	return true
 }
 
 // SackRange is a half-open received range [Start, End) above the

@@ -1,0 +1,80 @@
+package netsim
+
+// PacketPool is a free list of Packets owned by one Simulator. The
+// simulator is single-threaded, so the pool needs no locking, and
+// because recycling only ever reuses memory — never changes what is
+// scheduled when — pooling cannot perturb event order (see DESIGN.md
+// "Determinism: memory reuse").
+//
+// Ownership rules:
+//   - the component that acquires a packet (a transport endpoint)
+//     owns it until it hands it to the network via Host.Send;
+//   - a Link (and its Qdisc) owns every packet it has queued or is
+//     serializing, and releases packets it drops (tail drop, AQM
+//     drop, random wire loss) after the OnDrop callback returns;
+//   - delivery transfers ownership to the destination node: routers
+//     pass it to the next link, endpoints release it when they finish
+//     processing (tcp.Receiver.Handle, tcp.Sender.HandleAck, and the
+//     Demux for unroutable flows).
+//
+// Every acquired packet is therefore released exactly once. Under the
+// sussdebug build tag the pool verifies this: double releases and
+// touching a released packet panic, and released packets are
+// sequestered (never recycled) so stale pointers cannot be
+// revalidated by reuse.
+type PacketPool struct {
+	free  []*Packet
+	stats PoolStats
+}
+
+// PoolStats counts pool traffic. Acquired − Released is the number of
+// packets currently owned by some component; at the end of a drained
+// simulation it must be zero (the leak-check tests pin this).
+type PoolStats struct {
+	// Acquired counts Get calls.
+	Acquired int64
+	// Released counts effective Release calls.
+	Released int64
+	// Recycled counts Gets served from the free list rather than the
+	// heap.
+	Recycled int64
+}
+
+// Outstanding returns the packets acquired but not yet released.
+func (st PoolStats) Outstanding() int64 { return st.Acquired - st.Released }
+
+// Stats returns a copy of the pool counters.
+func (pp *PacketPool) Stats() PoolStats { return pp.stats }
+
+// Get returns a zeroed packet owned by the caller. It recycles a
+// released packet when one is available and allocates otherwise, so a
+// steady-state simulation stops allocating once the pool has grown to
+// the peak number of packets simultaneously in flight.
+func (pp *PacketPool) Get() *Packet {
+	pp.stats.Acquired++
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		pp.stats.Recycled++
+		*p = Packet{pool: pp}
+		return p
+	}
+	return &Packet{pool: pp}
+}
+
+// Release returns the packet to its pool. Packets built with a
+// literal (no pool) and nil packets are ignored, so callers can
+// release unconditionally. Releasing the same packet twice is a
+// lifecycle bug: it is detected (panic) under the sussdebug build
+// tag, and must be assumed to corrupt the free list otherwise.
+func (p *Packet) Release() {
+	if p == nil || p.pool == nil {
+		return
+	}
+	debugRelease(p)
+	p.pool.stats.Released++
+	if !debugSequester {
+		p.pool.free = append(p.pool.free, p)
+	}
+}

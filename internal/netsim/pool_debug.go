@@ -1,0 +1,38 @@
+//go:build sussdebug
+
+package netsim
+
+import "fmt"
+
+// Under the sussdebug build tag the packet pool becomes a
+// use-after-release detector: Release poisons the packet and
+// sequesters it (it is never recycled, so a retained pointer can
+// never be revalidated by reuse), double releases panic, and every
+// component that accepts a packet asserts it is live via
+// debugCheckLive. The tag trades steady-state allocation freedom for
+// airtight lifecycle checking; run it as
+//
+//	go test -tags sussdebug ./...
+const debugSequester = true
+
+// debugRelease flags the packet as dead and poisons the fields the
+// network layer reads, so even unchecked uses of a stale pointer
+// misbehave loudly instead of silently reading recycled data.
+func debugRelease(p *Packet) {
+	if p.freed {
+		panic(fmt.Sprintf("netsim: double release of packet (flow %d, kind %v, seq %d)",
+			p.Flow, p.Kind, p.Seq))
+	}
+	p.freed = true
+	p.Seq = -0x5055_5353 // "POSS"-marker: poisoned sequence
+	p.Size = -1
+	p.Kind = 0xff
+}
+
+// debugCheckLive panics when a component touches a packet that was
+// already released (retain-after-release).
+func debugCheckLive(p *Packet, where string) {
+	if p != nil && p.freed {
+		panic(fmt.Sprintf("netsim: %s uses packet after release (flow %d)", where, p.Flow))
+	}
+}

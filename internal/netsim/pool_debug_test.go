@@ -1,0 +1,63 @@
+//go:build sussdebug
+
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests exercise the lifecycle detector that only exists under
+// the sussdebug build tag: go test -tags sussdebug ./internal/netsim
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	s := NewSimulator()
+	p := s.Pool().Get()
+	p.Release()
+	mustPanic(t, "double release", func() { p.Release() })
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	s := NewSimulator()
+	snk := &sink{id: 1, sim: s}
+	l := NewLink(s, LinkConfig{Name: "l", Rate: 1e9, Delay: time.Millisecond}, snk)
+
+	p := s.Pool().Get()
+	p.Size = 1500
+	p.Dst = 1
+	p.Release()
+	// A component touching a released packet must fail loudly.
+	mustPanic(t, "enqueue after release", func() { l.Enqueue(p) })
+
+	h := NewHost(2, "h")
+	h.SetHandler(func(*Packet) {})
+	mustPanic(t, "deliver after release", func() { h.Deliver(p) })
+}
+
+func TestSequesterNeverRecycles(t *testing.T) {
+	s := NewSimulator()
+	pool := s.Pool()
+	a := pool.Get()
+	a.Release()
+	b := pool.Get()
+	if a == b {
+		t.Fatal("sussdebug pool recycled a released packet; stale pointers would be revalidated")
+	}
+	b.Release()
+	if got := pool.Stats().Recycled; got != 0 {
+		t.Fatalf("Recycled = %d, want 0 under sussdebug", got)
+	}
+	if got := pool.Stats().Outstanding(); got != 0 {
+		t.Fatalf("Outstanding = %d, want 0", got)
+	}
+}

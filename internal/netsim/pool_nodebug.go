@@ -1,0 +1,13 @@
+//go:build !sussdebug
+
+package netsim
+
+// debugSequester is false in normal builds: released packets are
+// recycled through the free list.
+const debugSequester = false
+
+// debugRelease is a no-op without the sussdebug tag.
+func debugRelease(*Packet) {}
+
+// debugCheckLive is a no-op without the sussdebug tag.
+func debugCheckLive(*Packet, string) {}

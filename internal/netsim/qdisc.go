@@ -9,6 +9,12 @@ import (
 // a packet (tail drop); Dequeue may additionally drop packets it
 // decides to sacrifice (AQM) before handing over the next one to
 // serialize.
+//
+// Ownership: the discipline owns queued packets. A refused or dropped
+// packet's ownership returns to the Link, which releases it to the
+// pool after the drop callback. The dropped slice returned by Dequeue
+// is scratch storage owned by the discipline, valid only until the
+// next Dequeue call.
 type Qdisc interface {
 	// Enqueue offers a packet at virtual time now; false means the
 	// packet was dropped on arrival.
@@ -23,16 +29,57 @@ type Qdisc interface {
 // QdiscFactory builds a discipline for a link's byte limit.
 type QdiscFactory func(limitBytes int) Qdisc
 
-// dropTail is the default FIFO with a byte-capacity tail drop.
-type dropTail struct {
-	limit int
-	q     []*timedPacket
-	bytes int
-}
-
 type timedPacket struct {
 	pkt *Packet
 	at  time.Duration // enqueue time (sojourn measurement)
+}
+
+// pktRing is a growable FIFO of timedPacket values backed by a
+// power-of-two circular buffer: steady-state enqueue/dequeue never
+// allocates (the old slice-of-pointers queue allocated a timedPacket
+// per enqueue and leaked capacity on every q = q[1:]).
+type pktRing struct {
+	buf  []timedPacket
+	head int
+	n    int
+}
+
+func (r *pktRing) push(tp timedPacket) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = tp
+	r.n++
+}
+
+func (r *pktRing) pop() (timedPacket, bool) {
+	if r.n == 0 {
+		return timedPacket{}, false
+	}
+	tp := r.buf[r.head]
+	r.buf[r.head] = timedPacket{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return tp, true
+}
+
+func (r *pktRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]timedPacket, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}
+
+// dropTail is the default FIFO with a byte-capacity tail drop.
+type dropTail struct {
+	limit int
+	q     pktRing
+	bytes int
 }
 
 // NewDropTail returns the classic FIFO drop-tail discipline.
@@ -44,18 +91,16 @@ func (d *dropTail) Enqueue(now time.Duration, pkt *Packet) bool {
 	if d.bytes+pkt.Size > d.limit {
 		return false
 	}
-	d.q = append(d.q, &timedPacket{pkt: pkt, at: now})
+	d.q.push(timedPacket{pkt: pkt, at: now})
 	d.bytes += pkt.Size
 	return true
 }
 
 func (d *dropTail) Dequeue(now time.Duration) (*Packet, []*Packet) {
-	if len(d.q) == 0 {
+	tp, ok := d.q.pop()
+	if !ok {
 		return nil, nil
 	}
-	tp := d.q[0]
-	d.q[0] = nil
-	d.q = d.q[1:]
 	d.bytes -= tp.pkt.Size
 	return tp.pkt, nil
 }
@@ -76,7 +121,7 @@ type CoDel struct {
 	Interval time.Duration
 
 	limit int
-	q     []*timedPacket
+	q     pktRing
 	bytes int
 
 	firstAboveTime time.Duration
@@ -84,6 +129,10 @@ type CoDel struct {
 	count          int
 	lastCount      int
 	dropping       bool
+
+	// dropScratch backs the dropped slice Dequeue returns; reused
+	// across calls so dropping does not allocate.
+	dropScratch []*Packet
 
 	// Drops counts AQM (non-tail) drops.
 	Drops int
@@ -106,27 +155,25 @@ func (c *CoDel) Enqueue(now time.Duration, pkt *Packet) bool {
 	if c.bytes+pkt.Size > c.limit {
 		return false
 	}
-	c.q = append(c.q, &timedPacket{pkt: pkt, at: now})
+	c.q.push(timedPacket{pkt: pkt, at: now})
 	c.bytes += pkt.Size
 	return true
 }
 
 func (c *CoDel) Bytes() int { return c.bytes }
 
-// pop removes and returns the head (nil when empty).
-func (c *CoDel) pop() *timedPacket {
-	if len(c.q) == 0 {
-		return nil
+// pop removes and returns the head (zero timedPacket when empty).
+func (c *CoDel) pop() timedPacket {
+	tp, ok := c.q.pop()
+	if !ok {
+		return timedPacket{}
 	}
-	tp := c.q[0]
-	c.q[0] = nil
-	c.q = c.q[1:]
 	c.bytes -= tp.pkt.Size
 	return tp
 }
 
 // shouldDrop runs the RFC 8289 sojourn test for one packet.
-func (c *CoDel) shouldDrop(tp *timedPacket, now time.Duration) bool {
+func (c *CoDel) shouldDrop(tp timedPacket, now time.Duration) bool {
 	sojourn := now - tp.at
 	if sojourn < c.Target || c.bytes <= 1500 {
 		c.firstAboveTime = 0
@@ -145,9 +192,9 @@ func (c *CoDel) controlLaw(t time.Duration) time.Duration {
 }
 
 func (c *CoDel) Dequeue(now time.Duration) (*Packet, []*Packet) {
-	var dropped []*Packet
+	dropped := c.dropScratch[:0]
 	tp := c.pop()
-	if tp == nil {
+	if tp.pkt == nil {
 		c.dropping = false
 		return nil, nil
 	}
@@ -162,8 +209,9 @@ func (c *CoDel) Dequeue(now time.Duration) (*Packet, []*Packet) {
 				c.Drops++
 				c.count++
 				tp = c.pop()
-				if tp == nil {
+				if tp.pkt == nil {
 					c.dropping = false
+					c.dropScratch = dropped
 					return nil, dropped
 				}
 				if !c.shouldDrop(tp, now) {
@@ -187,10 +235,12 @@ func (c *CoDel) Dequeue(now time.Duration) (*Packet, []*Packet) {
 		c.lastCount = c.count
 		c.dropNext = c.controlLaw(now)
 		tp = c.pop()
-		if tp == nil {
+		if tp.pkt == nil {
 			c.dropping = false
+			c.dropScratch = dropped
 			return nil, dropped
 		}
 	}
+	c.dropScratch = dropped
 	return tp.pkt, dropped
 }

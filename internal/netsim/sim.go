@@ -6,22 +6,61 @@
 // The simulator is single-threaded. All component callbacks run inside
 // Simulator.Run, ordered by virtual time with FIFO tie-breaking, so no
 // locking is needed anywhere in the stack built on top of it.
+//
+// The event core is allocation-free in steady state: timers live in a
+// pooled, generation-counted arena owned by the Simulator, and the
+// capture-free ScheduleEvent/ScheduleEventAt entry points let hot
+// paths (link serialization, RTO re-arming) schedule without building
+// a closure per event. Slots are recycled the moment a timer fires or
+// is stopped; a Timer handle carries the slot's generation so a Stop
+// on a recycled handle is a detected no-op.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
 )
 
+// EventFunc is a capture-free event callback. The scheduler stores ctx
+// and arg in the timer slot, so scheduling with a package-level
+// EventFunc allocates nothing — unlike a capturing closure, which
+// costs one allocation per event. Pointers stored in ctx/arg (a *Link,
+// a *Packet) incur no boxing.
+type EventFunc func(ctx, arg any)
+
+// runClosure adapts the closure-based Schedule API onto the
+// capture-free core (a func value is a pointer, so storing it in ctx
+// does not allocate; only the closure itself, if capturing, does).
+var runClosure EventFunc = func(ctx, _ any) { ctx.(func())() }
+
+// timerSlot is one arena entry. Slots are recycled through a free
+// list; gen increments on every release so stale Timer handles are
+// detectable.
+type timerSlot struct {
+	at       time.Duration
+	seq      uint64
+	fn       EventFunc
+	ctx, arg any
+	gen      uint32
+	heapIdx  int32 // position in Simulator.heap, -1 when not queued
+}
+
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is not ready for use; call NewSimulator.
 type Simulator struct {
 	now    time.Duration
-	events eventHeap
 	seq    uint64 // insertion counter for deterministic FIFO tie-break
 	halted bool
+
+	// Timer arena: slots holds every timer ever in flight, free is the
+	// recycle list, heap is a binary min-heap of slot indexes ordered
+	// by (at, seq).
+	slots []timerSlot
+	free  []int32
+	heap  []int32
+
+	pool PacketPool
 
 	// Stop condition: if stopWhen is non-nil it is checked after every
 	// event; Run returns early once it reports true.
@@ -37,42 +76,59 @@ func NewSimulator() *Simulator {
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
 
-// timer is a handle to a scheduled event that can be cancelled.
-type timer struct {
-	at      time.Duration
-	seq     uint64
-	fn      func()
-	stopped bool
-	index   int // heap index, -1 when popped
+// Pool returns the simulator's packet free list. Endpoints acquire
+// hot-path packets here and the owning component releases them; see
+// PacketPool for the ownership rules.
+func (s *Simulator) Pool() *PacketPool { return &s.pool }
+
+// Timer is the public cancellable handle returned by the Schedule
+// family. It is a value — {simulator, slot index, generation} — not a
+// pointer, so handles themselves never allocate. A handle outlives its
+// slot safely: once the slot is recycled the generation no longer
+// matches and Stop/Active observe a dead timer.
+type Timer struct {
+	s   *Simulator
+	idx int32
+	gen uint32
 }
 
-// Timer is the public cancellable handle returned by Schedule.
-type Timer struct{ t *timer }
-
-// Stop cancels the timer. Stopping an already-fired or already-stopped
-// timer is a no-op. It reports whether the call prevented the event
-// from firing.
+// Stop cancels the timer and removes it from the event heap
+// immediately (it does not linger until its fire time). Stopping an
+// already-fired, already-stopped, or zero-value timer is a no-op. It
+// reports whether the call prevented the event from firing.
 func (t Timer) Stop() bool {
-	if t.t == nil || t.t.stopped || t.t.index == -1 {
+	if t.s == nil {
 		return false
 	}
-	t.t.stopped = true
+	sl := &t.s.slots[t.idx]
+	if sl.gen != t.gen || sl.heapIdx < 0 {
+		return false
+	}
+	t.s.heapRemove(int(sl.heapIdx))
+	t.s.releaseSlot(t.idx)
 	return true
 }
 
 // Active reports whether the timer is still pending.
 func (t Timer) Active() bool {
-	return t.t != nil && !t.t.stopped && t.t.index != -1
+	if t.s == nil {
+		return false
+	}
+	sl := &t.s.slots[t.idx]
+	return sl.gen == t.gen && sl.heapIdx >= 0
 }
 
 // Schedule runs fn after delay of virtual time. A negative delay is
 // treated as zero (fn runs at the current time, after already-queued
 // events for this instant). The returned Timer can cancel the event.
 func (s *Simulator) Schedule(delay time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("netsim: Schedule with nil fn")
+	}
 	if delay < 0 {
 		delay = 0
 	}
-	return s.ScheduleAt(s.now+delay, fn)
+	return s.scheduleSlot(s.now+delay, runClosure, fn, nil)
 }
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past
@@ -81,13 +137,61 @@ func (s *Simulator) ScheduleAt(at time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("netsim: ScheduleAt with nil fn")
 	}
+	return s.scheduleSlot(at, runClosure, fn, nil)
+}
+
+// ScheduleEvent runs fn(ctx, arg) after delay of virtual time without
+// allocating: fn should be a package-level EventFunc and ctx/arg carry
+// the state a closure would otherwise capture.
+func (s *Simulator) ScheduleEvent(delay time.Duration, fn EventFunc, ctx, arg any) Timer {
+	if fn == nil {
+		panic("netsim: ScheduleEvent with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return s.scheduleSlot(s.now+delay, fn, ctx, arg)
+}
+
+// ScheduleEventAt is ScheduleEvent with an absolute virtual time.
+// Times in the past are clamped to now.
+func (s *Simulator) ScheduleEventAt(at time.Duration, fn EventFunc, ctx, arg any) Timer {
+	if fn == nil {
+		panic("netsim: ScheduleEventAt with nil fn")
+	}
+	return s.scheduleSlot(at, fn, ctx, arg)
+}
+
+func (s *Simulator) scheduleSlot(at time.Duration, fn EventFunc, ctx, arg any) Timer {
 	if at < s.now {
 		at = s.now
 	}
-	t := &timer{at: at, seq: s.seq, fn: fn}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, timerSlot{})
+		idx = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.at, sl.seq, sl.fn, sl.ctx, sl.arg = at, s.seq, fn, ctx, arg
 	s.seq++
-	heap.Push(&s.events, t)
-	return Timer{t}
+	sl.heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+	return Timer{s: s, idx: idx, gen: sl.gen}
+}
+
+// releaseSlot recycles a slot: the generation bump invalidates every
+// outstanding handle, and clearing fn/ctx/arg lets captured state be
+// collected.
+func (s *Simulator) releaseSlot(idx int32) {
+	sl := &s.slots[idx]
+	sl.gen++
+	sl.fn, sl.ctx, sl.arg = nil, nil, nil
+	sl.heapIdx = -1
+	s.free = append(s.free, idx)
 }
 
 // StopWhen installs a predicate checked after every event; when it
@@ -100,20 +204,32 @@ func (s *Simulator) Halt() { s.halted = true }
 // Run executes events in time order until the queue drains, the clock
 // passes until, Halt is called, or the StopWhen predicate fires.
 // It returns the virtual time at which it stopped.
+//
+// Clock semantics on each stop mode: after a drain, Halt, or StopWhen
+// stop, Now() equals the time of the last executed event (for StopWhen
+// this holds even when later events share the same instant); after a
+// horizon stop, Now() equals until. The clock never moves backwards —
+// a Run horizon already in the past executes nothing and leaves Now()
+// unchanged.
 func (s *Simulator) Run(until time.Duration) time.Duration {
 	s.halted = false
-	for len(s.events) > 0 && !s.halted {
-		next := s.events[0]
-		if next.at > until {
-			s.now = until
+	for len(s.heap) > 0 && !s.halted {
+		idx := s.heap[0]
+		sl := &s.slots[idx]
+		if sl.at > until {
+			if until > s.now {
+				s.now = until
+			}
 			return s.now
 		}
-		heap.Pop(&s.events)
-		if next.stopped {
-			continue
-		}
-		s.now = next.at
-		next.fn()
+		s.heapPop()
+		s.now = sl.at
+		fn, ctx, arg := sl.fn, sl.ctx, sl.arg
+		// Recycle before firing: during its own callback the timer
+		// reads as spent (Active false, Stop no-op), and the slot is
+		// immediately reusable by events the callback schedules.
+		s.releaseSlot(idx)
+		fn(ctx, arg)
 		if s.stopWhen != nil && s.stopWhen() {
 			break
 		}
@@ -127,45 +243,91 @@ func (s *Simulator) RunAll() time.Duration {
 	return s.Run(time.Duration(math.MaxInt64))
 }
 
-// Pending returns the number of events still queued (including
-// cancelled timers not yet popped).
-func (s *Simulator) Pending() int { return len(s.events) }
+// Pending returns the number of events still queued. The count is
+// exact: Stop removes a timer from the heap at cancellation time, so
+// cancelled timers are never counted (before the pooled arena, stopped
+// timers lingered in the heap until popped and inflated this count).
+func (s *Simulator) Pending() int { return len(s.heap) }
 
-// eventHeap is a min-heap ordered by (time, insertion sequence).
-type eventHeap []*timer
+// --- event heap (hand-rolled on slot indexes) ---
+//
+// container/heap would box every pushed index into an interface and
+// allocate; ordering is (fire time, insertion sequence), which
+// preserves FIFO among same-instant events.
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (s *Simulator) heapLess(a, b int32) bool {
+	sa, sb := &s.slots[a], &s.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
 	}
-	return h[i].seq < h[j].seq
+	return sa.seq < sb.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
+func (s *Simulator) heapSwap(i, j int) {
+	h := s.heap
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+	s.slots[h[i]].heapIdx = int32(i)
+	s.slots[h[j]].heapIdx = int32(j)
 }
 
-func (h *eventHeap) Push(x any) {
-	t := x.(*timer)
-	t.index = len(*h)
-	*h = append(*h, t)
+func (s *Simulator) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(s.heap[i], s.heap[parent]) {
+			return
+		}
+		s.heapSwap(i, parent)
+		i = parent
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+func (s *Simulator) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && s.heapLess(s.heap[r], s.heap[l]) {
+			least = r
+		}
+		if !s.heapLess(s.heap[least], s.heap[i]) {
+			return
+		}
+		s.heapSwap(i, least)
+		i = least
+	}
+}
+
+// heapPop removes the root (the caller already has its index).
+func (s *Simulator) heapPop() {
+	n := len(s.heap) - 1
+	s.heapSwap(0, n)
+	s.slots[s.heap[n]].heapIdx = -1
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+}
+
+// heapRemove removes the element at heap position i (timer
+// cancellation mid-heap).
+func (s *Simulator) heapRemove(i int) {
+	n := len(s.heap) - 1
+	s.slots[s.heap[i]].heapIdx = -1
+	if i != n {
+		s.heap[i] = s.heap[n]
+		s.slots[s.heap[i]].heapIdx = int32(i)
+	}
+	s.heap = s.heap[:n]
+	if i < n {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
 }
 
 // String implements fmt.Stringer for debugging.
 func (s *Simulator) String() string {
-	return fmt.Sprintf("netsim.Simulator{now: %v, pending: %d}", s.now, len(s.events))
+	return fmt.Sprintf("netsim.Simulator{now: %v, pending: %d}", s.now, len(s.heap))
 }

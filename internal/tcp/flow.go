@@ -15,11 +15,16 @@ type Demux struct {
 }
 
 // NewDemux installs a demultiplexer as the host's packet handler.
+// Ownership: packets routed to a registered flow are consumed (and
+// released) by that flow's endpoint; packets for unregistered flows
+// are released here, so no pooled packet leaks.
 func NewDemux(host *netsim.Host) *Demux {
 	d := &Demux{handlers: make(map[netsim.FlowID]func(*netsim.Packet))}
 	host.SetHandler(func(pkt *netsim.Packet) {
 		if fn, ok := d.handlers[pkt.Flow]; ok {
 			fn(pkt)
+		} else {
+			pkt.Release()
 		}
 	})
 	return d

@@ -6,9 +6,19 @@ import (
 	"suss/internal/netsim"
 )
 
+// maxRecentSacks is how many recently-extended ranges the receiver
+// remembers for RFC 2018 SACK block selection.
+const maxRecentSacks = 8
+
 // Receiver reassembles the byte stream and generates cumulative ACKs
 // with up to three SACK ranges, acknowledging every packet (or every
 // n-th with a delayed-ACK timer) and immediately on out-of-order data.
+//
+// The receive path is allocation-free in steady state: ACKs come from
+// the simulator's packet pool with SACK blocks filled into the inline
+// array, the range set is rebuilt through a double buffer (with an
+// in-place fast path for in-order arrivals), and SACK recency lives
+// in a fixed array.
 type Receiver struct {
 	sim  *netsim.Simulator
 	host *netsim.Host
@@ -17,9 +27,13 @@ type Receiver struct {
 	peer netsim.NodeID
 
 	ranges []netsim.SackRange // sorted, disjoint received ranges
-	// recentSacks remembers the ranges most recently extended, newest
+	// rangesNext is the double-buffer half merge rebuilds into when
+	// the in-place fast path does not apply.
+	rangesNext []netsim.SackRange
+	// recent remembers the ranges most recently extended, newest
 	// first, to fill SACK blocks the way RFC 2018 recommends.
-	recentSacks []netsim.SackRange
+	recent  [maxRecentSacks]netsim.SackRange
+	nRecent int
 
 	unacked  int // in-order packets since last ACK (for AckEvery)
 	delack   netsim.Timer
@@ -31,6 +45,8 @@ type Receiver struct {
 	completed  bool
 
 	// OnData, when non-nil, observes every data arrival (tracing).
+	// The packet is pool-owned and released when Handle returns:
+	// observers must copy what they keep, never retain pkt.
 	OnData func(now time.Duration, pkt *netsim.Packet)
 }
 
@@ -53,8 +69,14 @@ func (r *Receiver) CumAck() int64 {
 // Received returns the distinct payload bytes accepted so far.
 func (r *Receiver) Received() int64 { return r.received }
 
-// Handle processes one data packet addressed to this flow.
+// recvDelAckEv fires the delayed ACK without a per-arm closure.
+func recvDelAckEv(ctx, _ any) { ctx.(*Receiver).sendAck(nil) }
+
+// Handle processes one data packet addressed to this flow and
+// releases it: the receiver is the segment's final owner, so callers
+// must not touch pkt afterwards.
 func (r *Receiver) Handle(pkt *netsim.Packet) {
+	defer pkt.Release()
 	if pkt.Kind != netsim.Data {
 		return
 	}
@@ -81,21 +103,22 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 	}
 	// Withhold the ACK but bound the delay.
 	if !r.delack.Active() {
-		r.delack = r.sim.Schedule(r.cfg.DelAckTimeout, func() { r.sendAck(nil) })
+		r.delack = r.sim.ScheduleEvent(r.cfg.DelAckTimeout, recvDelAckEv, r, nil)
 	}
 }
 
 func (r *Receiver) sendAck(trigger *netsim.Packet) {
 	r.unacked = 0
 	r.delack.Stop()
-	ack := &netsim.Packet{
-		Flow:   r.flow,
-		Kind:   netsim.Ack,
-		Size:   r.cfg.AckBytes,
-		Dst:    r.peer,
-		CumAck: r.CumAck(),
-		SACK:   r.sackBlocks(),
-	}
+	// Pool-owned ACK: ownership transfers to the network at Send and
+	// the sender endpoint releases it.
+	ack := r.sim.Pool().Get()
+	ack.Flow = r.flow
+	ack.Kind = netsim.Ack
+	ack.Size = r.cfg.AckBytes
+	ack.Dst = r.peer
+	ack.CumAck = r.CumAck()
+	r.fillSackBlocks(ack)
 	if trigger != nil && trigger.HasEcho {
 		ack.EchoTS = trigger.EchoTS
 		ack.HasEcho = true
@@ -103,33 +126,32 @@ func (r *Receiver) sendAck(trigger *netsim.Packet) {
 	r.host.Send(ack)
 }
 
-// sackBlocks returns up to three ranges above the cumulative ACK,
-// most recently changed first.
-func (r *Receiver) sackBlocks() []netsim.SackRange {
-	cum := r.CumAck()
-	var out []netsim.SackRange
-	for _, s := range r.recentSacks {
+// fillSackBlocks writes up to netsim.MaxSack ranges above the
+// cumulative ACK into the packet's inline SACK array, most recently
+// changed first.
+func (r *Receiver) fillSackBlocks(ack *netsim.Packet) {
+	cum := ack.CumAck
+	for i := 0; i < r.nRecent && int(ack.NSack) < netsim.MaxSack; i++ {
+		s := r.recent[i]
 		if s.End <= cum {
 			continue
 		}
 		// Re-resolve against current ranges (merges may have grown it).
-		if cur, ok := r.containing(s.Start); ok && cur.End > cum {
-			dup := false
-			for _, o := range out {
-				if o == cur {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				out = append(out, cur)
+		cur, ok := r.containing(s.Start)
+		if !ok || cur.End <= cum {
+			continue
+		}
+		dup := false
+		for _, o := range ack.SackRanges() {
+			if o == cur {
+				dup = true
+				break
 			}
 		}
-		if len(out) == 3 {
-			break
+		if !dup {
+			ack.AddSack(cur)
 		}
 	}
-	return out
 }
 
 func (r *Receiver) containing(seq int64) (netsim.SackRange, bool) {
@@ -141,16 +163,38 @@ func (r *Receiver) containing(seq int64) (netsim.SackRange, bool) {
 	return netsim.SackRange{}, false
 }
 
+// noteRecent records [start,end) as the most recently extended range
+// for SACK block selection (in-place shift; no allocation).
+func (r *Receiver) noteRecent(start, end int64) {
+	copy(r.recent[1:], r.recent[:maxRecentSacks-1])
+	r.recent[0] = netsim.SackRange{Start: start, End: end}
+	if r.nRecent < maxRecentSacks {
+		r.nRecent++
+	}
+}
+
 // merge inserts [start,end) into the received set and returns the
-// number of bytes that were new.
+// number of bytes that were new. In-order arrivals (the common case)
+// extend the head range in place; the general path rebuilds into the
+// double buffer, so neither allocates in steady state.
 func (r *Receiver) merge(start, end int64) int64 {
 	if end <= start {
 		return 0
 	}
-	var added int64
-	out := make([]netsim.SackRange, 0, len(r.ranges)+1)
+	r.noteRecent(start, end)
+
+	// Fast path: the segment exactly extends an existing range's tail
+	// and stays clear of the next one.
+	for i := range r.ranges {
+		if r.ranges[i].End == start && (i+1 == len(r.ranges) || end < r.ranges[i+1].Start) {
+			r.ranges[i].End = end
+			return end - start
+		}
+	}
+
+	added := end - start
+	out := r.rangesNext[:0]
 	cur := netsim.SackRange{Start: start, End: end}
-	added = end - start
 	inserted := false
 	for _, g := range r.ranges {
 		switch {
@@ -176,14 +220,10 @@ func (r *Receiver) merge(start, end int64) int64 {
 	if !inserted {
 		out = append(out, cur)
 	}
+	r.rangesNext = r.ranges[:0]
 	r.ranges = out
 	if added < 0 {
 		added = 0
-	}
-	// Track recency for SACK block selection.
-	r.recentSacks = append([]netsim.SackRange{{Start: start, End: end}}, r.recentSacks...)
-	if len(r.recentSacks) > 8 {
-		r.recentSacks = r.recentSacks[:8]
 	}
 	return added
 }

@@ -69,8 +69,12 @@ type Sender struct {
 
 	// sackedIv is the merged set of SACKed intervals above sndUna, so
 	// repeated SACK blocks (which re-announce whole contiguous ranges)
-	// are processed only for their newly-covered parts.
-	sackedIv []netsim.SackRange
+	// are processed only for their newly-covered parts. sackedNext and
+	// freshScratch are the double-buffer / scratch halves that let
+	// addSackInterval rebuild the set without allocating per ACK.
+	sackedIv     []netsim.SackRange
+	sackedNext   []netsim.SackRange
+	freshScratch []netsim.SackRange
 	// holes are unresolved segment starts below highestSacked — the
 	// candidates for loss marking. holeScan is the swept boundary.
 	holes    map[int64]struct{}
@@ -201,6 +205,14 @@ func (s *Sender) segLen(seg int64) int64 {
 
 // --- transmission ---
 
+// The sender's three self-timers as package-level EventFuncs: arming
+// them stores the *Sender in the timer slot instead of allocating a
+// bound-method closure per arm (the RTO re-arms on every cumulative
+// advance, so this is a per-ACK saving).
+func senderTrySendEv(ctx, _ any) { ctx.(*Sender).trySend() }
+func senderFireRTOEv(ctx, _ any) { ctx.(*Sender).fireRTO() }
+func senderFireTLPEv(ctx, _ any) { ctx.(*Sender).fireTLP() }
+
 func (s *Sender) trySend() {
 	if !s.started || s.finished {
 		return
@@ -253,21 +265,23 @@ func (s *Sender) armKick(d time.Duration) {
 	if s.kickTimer.Active() {
 		return
 	}
-	s.kickTimer = s.sim.Schedule(d, s.trySend)
+	s.kickTimer = s.sim.ScheduleEvent(d, senderTrySendEv, s, nil)
 	s.armRTO()
 }
 
 func (s *Sender) emit(seg, l int64, retrans bool) {
 	now := s.sim.Now()
-	pkt := &netsim.Packet{
-		Flow:   s.flow,
-		Kind:   netsim.Data,
-		Size:   int(l) + s.cfg.HeaderBytes,
-		Dst:    s.peer,
-		Seq:    seg,
-		Len:    l,
-		SentAt: now,
-	}
+	// Pool-owned segment: ownership transfers to the network at
+	// host.Send, and the receiving endpoint (or a dropping link)
+	// releases it.
+	pkt := s.sim.Pool().Get()
+	pkt.Flow = s.flow
+	pkt.Kind = netsim.Data
+	pkt.Size = int(l) + s.cfg.HeaderBytes
+	pkt.Dst = s.peer
+	pkt.Seq = seg
+	pkt.Len = l
+	pkt.SentAt = now
 	if retrans {
 		pkt.Retrans = true
 		s.removeFromLostQueue(seg)
@@ -293,8 +307,11 @@ func (s *Sender) emit(seg, l int64, retrans bool) {
 
 // --- acknowledgment processing ---
 
-// HandleAck processes one ACK packet addressed to this flow.
+// HandleAck processes one ACK packet addressed to this flow and
+// releases it: the sender is the ACK's final owner, so callers must
+// not touch pkt afterwards.
 func (s *Sender) HandleAck(pkt *netsim.Packet) {
+	defer pkt.Release()
 	if pkt.Kind != netsim.Ack || s.finished || !s.started {
 		return
 	}
@@ -310,17 +327,6 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 	var newBytes int64
 	var bwSample float64 // freshest delivery-rate sample, bits/sec
 
-	rateSample := func(info segInfo) {
-		if info.retrans || info.sentAt >= now {
-			return
-		}
-		elapsed := (now - info.sentAt).Seconds()
-		bw := float64(s.delivered-info.delivAtSend) * 8 / elapsed
-		if bw > 0 {
-			bwSample = bw // later segments overwrite: freshest wins
-		}
-	}
-
 	// Cumulative advance.
 	if pkt.CumAck > s.sndUna {
 		for seg := segStart(s.sndUna, s.cfg.MSS); seg < pkt.CumAck; seg += int64(s.cfg.MSS) {
@@ -334,7 +340,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 				s.inflight -= l
 				s.delivered += l
 				newBytes += l
-				rateSample(info)
+				bwSample = s.rateSample(info, now, bwSample)
 			case stLost:
 				s.removeFromLostQueue(seg)
 				s.delivered += l
@@ -361,7 +367,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 	// Selective acknowledgments: process only the parts of each block
 	// not already known (blocks re-announce whole contiguous ranges on
 	// every ACK; rescanning them is quadratic).
-	for _, r := range pkt.SACK {
+	for _, r := range pkt.SackRanges() {
 		if r.Start < s.sndUna {
 			r.Start = s.sndUna
 		}
@@ -379,7 +385,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 				switch info.st {
 				case stInflight, stRetransInFlight:
 					s.inflight -= l
-					rateSample(info)
+					bwSample = s.rateSample(info, now, bwSample)
 				case stLost:
 					s.removeFromLostQueue(seg)
 				}
@@ -438,14 +444,32 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 	s.trySend()
 }
 
+// rateSample folds one acked segment into the freshest delivery-rate
+// estimate (bits/sec): later segments overwrite earlier ones, never
+// from retransmits. It returns the updated freshest sample.
+func (s *Sender) rateSample(info segInfo, now time.Duration, cur float64) float64 {
+	if info.retrans || info.sentAt >= now {
+		return cur
+	}
+	elapsed := (now - info.sentAt).Seconds()
+	if bw := float64(s.delivered-info.delivAtSend) * 8 / elapsed; bw > 0 {
+		return bw
+	}
+	return cur
+}
+
 // addSackInterval merges iv into the known-SACKed set and returns the
-// sub-intervals that were not previously covered.
+// sub-intervals that were not previously covered. The returned slice
+// is scratch storage reused by the next call; callers consume it
+// before merging another interval. The rebuilt set lands in a
+// double buffer (sackedIv/sackedNext swap roles), so steady-state
+// SACK processing allocates nothing.
 func (s *Sender) addSackInterval(iv netsim.SackRange) []netsim.SackRange {
 	if iv.End <= iv.Start {
 		return nil
 	}
-	var fresh []netsim.SackRange
-	out := make([]netsim.SackRange, 0, len(s.sackedIv)+1)
+	fresh := s.freshScratch[:0]
+	out := s.sackedNext[:0]
 	cur := iv
 	inserted := false
 	pos := cur.Start
@@ -486,7 +510,9 @@ func (s *Sender) addSackInterval(iv netsim.SackRange) []netsim.SackRange {
 		}
 		out = append(out, cur)
 	}
+	s.sackedNext = s.sackedIv[:0]
 	s.sackedIv = out
+	s.freshScratch = fresh
 	return fresh
 }
 
@@ -572,7 +598,7 @@ func (s *Sender) armRTO() {
 		return
 	}
 	if !s.rtoTimer.Active() {
-		s.rtoTimer = s.sim.Schedule(s.rtt.RTO(), s.fireRTO)
+		s.rtoTimer = s.sim.ScheduleEvent(s.rtt.RTO(), senderFireRTOEv, s, nil)
 	}
 	s.armTLP()
 }
@@ -592,7 +618,7 @@ func (s *Sender) armTLP() {
 	if pto < 10*time.Millisecond {
 		pto = 10 * time.Millisecond
 	}
-	s.tlpTimer = s.sim.Schedule(pto, s.fireTLP)
+	s.tlpTimer = s.sim.ScheduleEvent(pto, senderFireTLPEv, s, nil)
 }
 
 // fireTLP retransmits the highest outstanding segment once per flight,
@@ -666,7 +692,7 @@ func (s *Sender) fireRTO() {
 	s.nextRelease = 0
 	s.trySend()
 	if !s.rtoTimer.Active() {
-		s.rtoTimer = s.sim.Schedule(s.rtt.RTO(), s.fireRTO)
+		s.rtoTimer = s.sim.ScheduleEvent(s.rtt.RTO(), senderFireRTOEv, s, nil)
 	}
 }
 

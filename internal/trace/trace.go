@@ -1,6 +1,11 @@
 // Package trace records per-flow time series — cwnd, smoothed RTT,
 // delivered bytes — the way the paper's kernel-log instrumentation
 // does, for the cwnd/RTT/delivery plots (Figs. 1, 9, 10, 16).
+//
+// Samplers copy, never retain: every observation is captured as plain
+// scalars at callback time. Network packets are pool-owned and
+// recycled the moment their consumer returns, so a trace (or any
+// other observer) must never hold a *netsim.Packet past the callback.
 package trace
 
 import (
