@@ -2,11 +2,12 @@ GO ?= go
 
 # Benchmark comparison knobs (see bench-baseline / bench-compare).
 BENCH ?= BenchmarkFig11FCTvsFlowSize
+BENCH_PKG ?= .
 BENCH_COUNT ?= 5
 BENCH_BASELINE ?= bench.baseline.txt
 BENCH_HEAD ?= bench.head.txt
 
-.PHONY: check build vet test testdebug race bench bench-baseline bench-compare clean
+.PHONY: check build vet test testdebug race bench bench-sched bench-baseline bench-compare clean
 
 # The full gate CI runs: build + vet + tests (including the
 # AllocsPerRun zero-allocation gates in internal/netsim) + the
@@ -38,16 +39,24 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# bench-baseline records $(BENCH) on the current tree (run it on the
-# base commit); bench-compare reruns it on HEAD and diffs the two with
-# benchstat when available.
+# Scheduler microbenchmarks: timer churn (arm/cancel/rearm, the TCP
+# hot path) and cross-level cascading. benchstat-friendly: -count 6+
+# gives it enough samples for a confidence interval.
+bench-sched:
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduler(Churn|Cascade)' -benchmem -count $(BENCH_COUNT) ./internal/netsim
+
+# bench-baseline records $(BENCH) in $(BENCH_PKG) on the current tree
+# (run it on the base commit); bench-compare reruns it on HEAD and
+# diffs the two with benchstat when available. For the scheduler
+# microbenchmarks: BENCH='BenchmarkScheduler(Churn|Cascade)'
+# BENCH_PKG=./internal/netsim.
 bench-baseline:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) . | tee $(BENCH_BASELINE)
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKG) | tee $(BENCH_BASELINE)
 
 bench-compare:
 	@test -f $(BENCH_BASELINE) || { \
 		echo "missing $(BENCH_BASELINE): check out the base commit and run 'make bench-baseline' first"; exit 1; }
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) . | tee $(BENCH_HEAD)
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKG) | tee $(BENCH_HEAD)
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat $(BENCH_BASELINE) $(BENCH_HEAD); \
 	else \

@@ -9,6 +9,11 @@ import (
 	"suss/internal/stats"
 )
 
+// NeverReached marks a share threshold the late joiner did not
+// sustain within the experiment horizon. It renders as "not reached"
+// rather than a bogus negative duration.
+const NeverReached = time.Duration(-1)
+
 // Fig02Result reproduces Fig. 2: a new flow joining four established
 // flows at a shared 50 Mbps bottleneck, under CUBIC and BBR. The paper
 // uses it to motivate SUSS: CUBIC's loss-sensitive slow start keeps
@@ -23,8 +28,8 @@ type Fig02Result struct {
 	// the join.
 	Share []float64
 	// TimeToHalfShare and TimeToFairShare are how long after joining
-	// the new flow first sustains 50% / 80% of its fair share (-1 if
-	// never within the horizon).
+	// the new flow first sustains 50% / 80% of its fair share
+	// (NeverReached if never within the horizon).
 	TimeToHalfShare time.Duration
 	TimeToFairShare time.Duration
 }
@@ -43,16 +48,16 @@ func RunFig02(algo Algo, rtt time.Duration, bufferBDP float64, joinAt, horizon t
 	res := Fig02Result{Algo: algo, JoinAt: joinAt, FairShare: tb.BtlRate / 5}
 	joinBin := int(joinAt / time.Second)
 	bins := run.Bins[4].Rate()
-	res.TimeToHalfShare = -1
-	res.TimeToFairShare = -1
+	res.TimeToHalfShare = NeverReached
+	res.TimeToFairShare = NeverReached
 	for i := joinBin; i < len(bins); i++ {
 		share := bins[i] * 8 / res.FairShare
 		res.Share = append(res.Share, share)
 		since := time.Duration(i-joinBin) * time.Second
-		if res.TimeToHalfShare < 0 && share >= 0.5 {
+		if res.TimeToHalfShare == NeverReached && share >= 0.5 {
 			res.TimeToHalfShare = since
 		}
-		if res.TimeToFairShare < 0 && share >= 0.8 {
+		if res.TimeToFairShare == NeverReached && share >= 0.8 {
 			res.TimeToFairShare = since
 		}
 	}
@@ -64,7 +69,8 @@ func (r Fig02Result) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 2 — late joiner under %s (join at %v, fair share %.1f Mbps)\n",
 		r.Algo, r.JoinAt, r.FairShare/1e6)
-	fmt.Fprintf(&b, "  time to 50%% share: %v, time to 80%% share: %v\n", r.TimeToHalfShare, r.TimeToFairShare)
+	fmt.Fprintf(&b, "  time to 50%% share: %s, time to 80%% share: %s\n",
+		fmtReached(r.TimeToHalfShare), fmtReached(r.TimeToFairShare))
 	n := len(r.Share)
 	if n > 12 {
 		n = 12
@@ -73,6 +79,13 @@ func (r Fig02Result) Render() string {
 		fmt.Fprintf(&b, "    +%2ds  share=%5.2f\n", i, r.Share[i])
 	}
 	return b.String()
+}
+
+func fmtReached(d time.Duration) string {
+	if d == NeverReached {
+		return "not reached"
+	}
+	return d.String()
 }
 
 // Fig02Mean summarizes a share curve (for benches).

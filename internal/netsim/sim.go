@@ -14,6 +14,10 @@
 // a closure per event. Slots are recycled the moment a timer fires or
 // is stopped; a Timer handle carries the slot's generation so a Stop
 // on a recycled handle is a detected no-op.
+//
+// Pending timers are indexed by a hierarchical timing wheel rather
+// than a comparison heap (see wheel.go): Schedule, Stop, and Reset are
+// O(1), and Run dispatches all events sharing an instant as one batch.
 package netsim
 
 import (
@@ -36,14 +40,18 @@ var runClosure EventFunc = func(ctx, _ any) { ctx.(func())() }
 
 // timerSlot is one arena entry. Slots are recycled through a free
 // list; gen increments on every release so stale Timer handles are
-// detectable.
+// detectable. next/prev link the slot into the intrusive list of its
+// wheel bucket (see wheel.go); bucket records which list, bucketNone
+// when released, or bucketBatch while awaiting same-instant dispatch.
 type timerSlot struct {
 	at       time.Duration
 	seq      uint64
 	fn       EventFunc
 	ctx, arg any
 	gen      uint32
-	heapIdx  int32 // position in Simulator.heap, -1 when not queued
+	bucket   int32
+	next     int32
+	prev     int32
 }
 
 // Simulator owns the virtual clock and the pending-event queue.
@@ -54,11 +62,29 @@ type Simulator struct {
 	halted bool
 
 	// Timer arena: slots holds every timer ever in flight, free is the
-	// recycle list, heap is a binary min-heap of slot indexes ordered
-	// by (at, seq).
+	// recycle list. Pending slots are threaded into the timing wheel.
 	slots []timerSlot
 	free  []int32
-	heap  []int32
+
+	// Hierarchical timing wheel (wheel.go): cur is the wheel cursor —
+	// it trails min(now, every pending deadline) so bucket placement
+	// deltas are never negative. occ is the per-level occupancy bitmap;
+	// bhead/btail are the bucket list ends (last entry = overflow).
+	cur      int64
+	occ      [wheelLevels]uint64
+	bhead    [numWheelBuckets + 1]int32
+	btail    [numWheelBuckets + 1]int32
+	npending int
+	ovMin    int64 // cached min deadline in the overflow list
+	ovDirty  bool  // ovMin must be recomputed before use
+
+	// Same-instant dispatch batch: Run drains a whole level-0 bucket
+	// into this reusable ring and fires it without re-touching the
+	// wheel per event. batchPos trails len(batch) while a Halt or
+	// StopWhen pause leaves same-instant events undispatched.
+	batch    []int32
+	batchPos int
+	batchAt  time.Duration
 
 	pool PacketPool
 
@@ -70,7 +96,12 @@ type Simulator struct {
 // NewSimulator returns a simulator with the clock at zero and an empty
 // event queue.
 func NewSimulator() *Simulator {
-	return &Simulator{}
+	s := &Simulator{ovMin: math.MaxInt64}
+	for i := range s.bhead {
+		s.bhead[i] = -1
+		s.btail[i] = -1
+	}
+	return s
 }
 
 // Now returns the current virtual time.
@@ -92,7 +123,7 @@ type Timer struct {
 	gen uint32
 }
 
-// Stop cancels the timer and removes it from the event heap
+// Stop cancels the timer and removes it from the pending set
 // immediately (it does not linger until its fire time). Stopping an
 // already-fired, already-stopped, or zero-value timer is a no-op. It
 // reports whether the call prevented the event from firing.
@@ -100,12 +131,15 @@ func (t Timer) Stop() bool {
 	if t.s == nil {
 		return false
 	}
-	sl := &t.s.slots[t.idx]
-	if sl.gen != t.gen || sl.heapIdx < 0 {
+	s := t.s
+	sl := &s.slots[t.idx]
+	if sl.gen != t.gen || sl.bucket == bucketNone {
 		return false
 	}
-	t.s.heapRemove(int(sl.heapIdx))
-	t.s.releaseSlot(t.idx)
+	if sl.bucket != bucketBatch {
+		s.unlink(t.idx)
+	}
+	s.releaseSlot(t.idx)
 	return true
 }
 
@@ -115,7 +149,41 @@ func (t Timer) Active() bool {
 		return false
 	}
 	sl := &t.s.slots[t.idx]
-	return sl.gen == t.gen && sl.heapIdx >= 0
+	return sl.gen == t.gen && sl.bucket != bucketNone
+}
+
+// Reset rearms a still-pending timer in place to fire after d of
+// virtual time, keeping its callback and arguments: the slot is
+// relinked into the wheel directly instead of passing through the
+// free list, which is the fast path for the RTO/pacing rearm-per-ACK
+// pattern. A negative d is treated as zero.
+//
+// The rearmed timer takes a fresh insertion sequence number and a
+// fresh generation, so event ordering is byte-identical to Stop
+// followed by a new Schedule, and handles from before the Reset
+// (including t itself) become stale no-ops. The new handle is
+// returned. If the timer already fired or was stopped, Reset
+// schedules nothing and reports false.
+func (t Timer) Reset(d time.Duration) (Timer, bool) {
+	if t.s == nil {
+		return Timer{}, false
+	}
+	s := t.s
+	sl := &s.slots[t.idx]
+	if sl.gen != t.gen || sl.bucket == bucketNone {
+		return Timer{}, false
+	}
+	if d < 0 {
+		d = 0
+	}
+	if sl.bucket != bucketBatch {
+		s.unlink(t.idx)
+	}
+	sl.at, sl.seq = s.now+d, s.seq
+	s.seq++
+	sl.gen++
+	s.place(t.idx)
+	return Timer{s: s, idx: t.idx, gen: sl.gen}, true
 }
 
 // Schedule runs fn after delay of virtual time. A negative delay is
@@ -177,21 +245,22 @@ func (s *Simulator) scheduleSlot(at time.Duration, fn EventFunc, ctx, arg any) T
 	sl := &s.slots[idx]
 	sl.at, sl.seq, sl.fn, sl.ctx, sl.arg = at, s.seq, fn, ctx, arg
 	s.seq++
-	sl.heapIdx = int32(len(s.heap))
-	s.heap = append(s.heap, idx)
-	s.siftUp(len(s.heap) - 1)
+	s.place(idx)
+	s.npending++
 	return Timer{s: s, idx: idx, gen: sl.gen}
 }
 
 // releaseSlot recycles a slot: the generation bump invalidates every
 // outstanding handle, and clearing fn/ctx/arg lets captured state be
-// collected.
+// collected. The caller must already have unlinked a wheel-resident
+// slot from its bucket.
 func (s *Simulator) releaseSlot(idx int32) {
 	sl := &s.slots[idx]
 	sl.gen++
 	sl.fn, sl.ctx, sl.arg = nil, nil, nil
-	sl.heapIdx = -1
+	sl.bucket = bucketNone
 	s.free = append(s.free, idx)
+	s.npending--
 }
 
 // StopWhen installs a predicate checked after every event; when it
@@ -211,30 +280,55 @@ func (s *Simulator) Halt() { s.halted = true }
 // horizon stop, Now() equals until. The clock never moves backwards —
 // a Run horizon already in the past executes nothing and leaves Now()
 // unchanged.
+//
+// Events sharing an instant are dispatched as one batch: the whole
+// level-0 bucket is drained into a scratch ring, put in arm order, and
+// fired without re-touching the wheel per event. A Halt or StopWhen
+// pause mid-batch leaves the rest of the batch pending (counted by
+// Pending, cancellable, fired by a later Run), exactly as if the
+// events were still queued.
 func (s *Simulator) Run(until time.Duration) time.Duration {
 	s.halted = false
-	for len(s.heap) > 0 && !s.halted {
-		idx := s.heap[0]
-		sl := &s.slots[idx]
-		if sl.at > until {
-			if until > s.now {
+	for {
+		if s.batchPos < len(s.batch) {
+			// Resume a batch paused by Halt or StopWhen. batchAt always
+			// equals s.now here, so a smaller horizon fires nothing.
+			if s.batchAt > until {
+				return s.now
+			}
+			s.now = s.batchAt
+			for s.batchPos < len(s.batch) && !s.halted {
+				idx := s.batch[s.batchPos]
+				s.batchPos++
+				sl := &s.slots[idx]
+				if sl.bucket != bucketBatch {
+					continue // stopped (or reset) while awaiting dispatch
+				}
+				fn, ctx, arg := sl.fn, sl.ctx, sl.arg
+				// Recycle before firing: during its own callback the
+				// timer reads as spent (Active false, Stop no-op), and
+				// the slot is immediately reusable by events the
+				// callback schedules.
+				s.releaseSlot(idx)
+				fn(ctx, arg)
+				if s.stopWhen != nil && s.stopWhen() {
+					return s.now
+				}
+			}
+			if s.halted {
+				return s.now
+			}
+			continue
+		}
+		tick, bucket, fire := s.wheelNext(int64(until))
+		if !fire {
+			if s.npending > 0 && until > s.now {
 				s.now = until
 			}
 			return s.now
 		}
-		s.heapPop()
-		s.now = sl.at
-		fn, ctx, arg := sl.fn, sl.ctx, sl.arg
-		// Recycle before firing: during its own callback the timer
-		// reads as spent (Active false, Stop no-op), and the slot is
-		// immediately reusable by events the callback schedules.
-		s.releaseSlot(idx)
-		fn(ctx, arg)
-		if s.stopWhen != nil && s.stopWhen() {
-			break
-		}
+		s.drainBucket(bucket, time.Duration(tick))
 	}
-	return s.now
 }
 
 // RunAll executes events until the queue drains (or Halt/StopWhen).
@@ -244,90 +338,12 @@ func (s *Simulator) RunAll() time.Duration {
 }
 
 // Pending returns the number of events still queued. The count is
-// exact: Stop removes a timer from the heap at cancellation time, so
-// cancelled timers are never counted (before the pooled arena, stopped
-// timers lingered in the heap until popped and inflated this count).
-func (s *Simulator) Pending() int { return len(s.heap) }
-
-// --- event heap (hand-rolled on slot indexes) ---
-//
-// container/heap would box every pushed index into an interface and
-// allocate; ordering is (fire time, insertion sequence), which
-// preserves FIFO among same-instant events.
-
-func (s *Simulator) heapLess(a, b int32) bool {
-	sa, sb := &s.slots[a], &s.slots[b]
-	if sa.at != sb.at {
-		return sa.at < sb.at
-	}
-	return sa.seq < sb.seq
-}
-
-func (s *Simulator) heapSwap(i, j int) {
-	h := s.heap
-	h[i], h[j] = h[j], h[i]
-	s.slots[h[i]].heapIdx = int32(i)
-	s.slots[h[j]].heapIdx = int32(j)
-}
-
-func (s *Simulator) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.heapLess(s.heap[i], s.heap[parent]) {
-			return
-		}
-		s.heapSwap(i, parent)
-		i = parent
-	}
-}
-
-func (s *Simulator) siftDown(i int) {
-	n := len(s.heap)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			return
-		}
-		least := l
-		if r := l + 1; r < n && s.heapLess(s.heap[r], s.heap[l]) {
-			least = r
-		}
-		if !s.heapLess(s.heap[least], s.heap[i]) {
-			return
-		}
-		s.heapSwap(i, least)
-		i = least
-	}
-}
-
-// heapPop removes the root (the caller already has its index).
-func (s *Simulator) heapPop() {
-	n := len(s.heap) - 1
-	s.heapSwap(0, n)
-	s.slots[s.heap[n]].heapIdx = -1
-	s.heap = s.heap[:n]
-	if n > 0 {
-		s.siftDown(0)
-	}
-}
-
-// heapRemove removes the element at heap position i (timer
-// cancellation mid-heap).
-func (s *Simulator) heapRemove(i int) {
-	n := len(s.heap) - 1
-	s.slots[s.heap[i]].heapIdx = -1
-	if i != n {
-		s.heap[i] = s.heap[n]
-		s.slots[s.heap[i]].heapIdx = int32(i)
-	}
-	s.heap = s.heap[:n]
-	if i < n {
-		s.siftDown(i)
-		s.siftUp(i)
-	}
-}
+// exact: Stop removes a timer from the pending set at cancellation
+// time, so cancelled timers are never counted, and events drained for
+// same-instant dispatch but not yet fired still are.
+func (s *Simulator) Pending() int { return s.npending }
 
 // String implements fmt.Stringer for debugging.
 func (s *Simulator) String() string {
-	return fmt.Sprintf("netsim.Simulator{now: %v, pending: %d}", s.now, len(s.heap))
+	return fmt.Sprintf("netsim.Simulator{now: %v, pending: %d}", s.now, s.npending)
 }

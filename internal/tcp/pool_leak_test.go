@@ -77,8 +77,9 @@ func TestPacketPoolOwnershipLossyDumbbell(t *testing.T) {
 }
 
 // TestPendingExactAfterFlowFinish pins the satellite fix: a finished
-// sender Stops its RTO/TLP/kick timers, and with Stop now removing
-// timers from the heap, Pending() reflects only real future events.
+// sender Stops its RTO/TLP/kick timers, and with Stop unlinking
+// timers from the wheel immediately, Pending() reflects only real
+// future events.
 func TestPendingExactAfterFlowFinish(t *testing.T) {
 	ctrl := &fixedCC{cwnd: 64 * 1448}
 	f, sim, _ := runFlow(t, 1<<20, 1e8, 50*time.Millisecond, 1<<20, ctrl)

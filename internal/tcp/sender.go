@@ -653,9 +653,21 @@ func (s *Sender) fireTLP() {
 }
 
 func (s *Sender) resetRTO() {
-	s.rtoTimer.Stop()
 	s.tlpTimer.Stop()
-	s.armRTO()
+	if s.finished || s.inflight <= 0 && len(s.lostQueue) == 0 {
+		s.rtoTimer.Stop()
+		return
+	}
+	// Rearm in place when the timer is still pending: one O(1) wheel
+	// unlink+relink instead of Stop + slot release + fresh Schedule.
+	// Reset takes a fresh arm sequence number, so same-deadline
+	// ordering is identical to the Stop+Schedule path it replaces.
+	if t, ok := s.rtoTimer.Reset(s.rtt.RTO()); ok {
+		s.rtoTimer = t
+	} else {
+		s.rtoTimer = s.sim.ScheduleEvent(s.rtt.RTO(), senderFireRTOEv, s, nil)
+	}
+	s.armTLP()
 }
 
 func (s *Sender) fireRTO() {
