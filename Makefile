@@ -7,7 +7,7 @@ BENCH_COUNT ?= 5
 BENCH_BASELINE ?= bench.baseline.txt
 BENCH_HEAD ?= bench.head.txt
 
-.PHONY: check build vet test testdebug race bench bench-sched bench-baseline bench-compare clean
+.PHONY: check build vet test testdebug race allocgate bench bench-sched bench-baseline bench-compare clean
 
 # The full gate CI runs: build + vet + tests (including the
 # AllocsPerRun zero-allocation gates in internal/netsim) + the
@@ -35,6 +35,14 @@ testdebug:
 # packages that spawn goroutines; they get a dedicated race pass.
 race:
 	$(GO) test -race ./internal/runner ./internal/experiments
+
+# Zero-allocation gates, run explicitly and WITHOUT -race: race
+# instrumentation inserts allocations of its own, so AllocsPerRun is
+# only meaningful on an uninstrumented build. Covers the flight
+# recorder (internal/obs) and the event/packet arenas
+# (internal/netsim).
+allocgate:
+	$(GO) test -run 'Alloc' -v ./internal/obs ./internal/netsim
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

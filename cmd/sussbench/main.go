@@ -9,6 +9,7 @@
 //	sussbench -iters 10       # more repetitions per data point
 //	sussbench -quick          # reduced sweep for a fast smoke pass
 //	sussbench -parallel 8     # worker pool size (0 = GOMAXPROCS)
+//	sussbench -only fig11 -counters   # cross-layer loss accounting
 //	sussbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Sweep experiments fan their independent simulations out over a
@@ -53,6 +54,7 @@ func run() int {
 	outDir := flag.String("out", "", "also write CSV data files to this directory (fig11, matrix)")
 	parallel := flag.Int("parallel", 0, "worker pool size for sweep experiments (0 = GOMAXPROCS)")
 	noProgress := flag.Bool("no-progress", false, "suppress the stderr progress line")
+	counters := flag.Bool("counters", false, "attach flight recorders and print cross-layer loss accounting (fig11)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -183,7 +185,11 @@ func run() int {
 	}
 	if run("fig11") || run("fig12") {
 		timed("fig11", func() {
-			r := experiments.RunFig11(scenarios.GoogleTokyo, sizes, *iters, *seed, opts("fig11")...)
+			o := opts("fig11")
+			if *counters {
+				o = append(o, experiments.WithLossAccounting())
+			}
+			r := experiments.RunFig11(scenarios.GoogleTokyo, sizes, *iters, *seed, o...)
 			incomplete += r.Incomplete
 			emit(r.Render())
 			writeCSV("fig11.csv", r.WriteCSV)

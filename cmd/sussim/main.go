@@ -7,6 +7,7 @@
 //	sussim -algo suss -size 4MB -rate 100 -rtt 100ms
 //	sussim -scenario google-tokyo/4g -algo cubic -size 2MB
 //	sussim -algo suss -size 8MB -trace trace.csv
+//	sussim -algo suss -size 2MB -events events.jsonl -counters
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "impairment RNG seed")
 	kmax := flag.Int("kmax", 0, "SUSS growth exponent bound (0 = paper default 1)")
 	tracePath := flag.String("trace", "", "write cwnd/RTT/delivered CSV to this file")
+	eventsPath := flag.String("events", "", "record the flight-recorder event log to this file (.jsonl | .csv | anything else = timeline text; \"-\" = timeline to stdout)")
+	counters := flag.Bool("counters", false, "dump the flight-recorder flow/link counters after the run")
 	flag.Parse()
 
 	if *list {
@@ -51,9 +54,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	observe := *eventsPath != "" || *counters
 	var res suss.Result
 	var pts []suss.TracePoint
+	var rec *suss.FlightRecorder
 	if *scenario != "" {
+		if observe {
+			log.Fatal("-events/-counters are only available for custom paths (-rate/-rtt), not -scenario")
+		}
 		res, err = suss.RunScenario(suss.InternetScenario(*scenario), algo, size, *seed)
 	} else {
 		cfg := suss.PathConfig{
@@ -64,7 +72,11 @@ func main() {
 			Seed:      *seed,
 			Kmax:      *kmax,
 		}
-		res, pts, err = suss.RunTrace(cfg, algo, size, time.Millisecond)
+		if observe {
+			res, pts, rec, err = suss.RunTraceObserved(cfg, algo, size, time.Millisecond)
+		} else {
+			res, pts, err = suss.RunTrace(cfg, algo, size, time.Millisecond)
+		}
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -95,6 +107,44 @@ func main() {
 		}
 		fmt.Printf("  trace         %d samples → %s\n", len(pts), *tracePath)
 	}
+
+	if *eventsPath != "" {
+		if err := writeEvents(rec, *eventsPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *counters {
+		fmt.Println()
+		if err := rec.WriteCounters(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeEvents dumps the flight-recorder event log; the format follows
+// the file extension (.jsonl, .csv, anything else = timeline text) and
+// "-" streams the timeline to stdout.
+func writeEvents(rec *suss.FlightRecorder, path string) error {
+	if path == "-" {
+		return rec.WriteTimeline(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".jsonl"):
+		err = rec.WriteEventsJSONL(f)
+	case strings.HasSuffix(path, ".csv"):
+		err = rec.WriteEventsCSV(f)
+	default:
+		err = rec.WriteTimeline(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func parseAlgo(s string) (suss.Algorithm, error) {

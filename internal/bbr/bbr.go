@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"suss/internal/cc"
+	"suss/internal/obs"
 )
 
 // state is the BBR state machine phase.
@@ -110,7 +111,14 @@ type BBR struct {
 	lossRounds    int // consecutive STARTUP rounds with loss
 
 	boost *sussBoost // nil unless Options.SUSSStartup
+
+	// rec, when non-nil, receives STARTUP round and boost events.
+	rec *obs.FlowRecorder
 }
+
+// AttachRecorder installs a flight recorder on this controller. Pass
+// nil to detach.
+func (b *BBR) AttachRecorder(r *obs.FlowRecorder) { b.rec = r }
 
 // New creates a BBR controller.
 func New(env cc.Env, opt Options) *BBR {
@@ -258,6 +266,14 @@ func (b *BBR) OnAck(ev cc.AckEvent) {
 		b.round++
 		if b.boost != nil {
 			b.boost.onRoundStart(ev.Now, b.round, b.st == stateStartup && !b.filledPipe, b.bwFilter.Get())
+			// The boosted flag for the new round is now decided; a
+			// SUSS-boosted STARTUP round is this package's EvSussBoost.
+			if b.boost.boosted {
+				if r := b.rec; r != nil {
+					r.C.SussBoosts++
+					r.Record(ev.Now, obs.EvSussBoost, 0, 0, int64(boostGain*100), 0)
+				}
+			}
 		}
 		b.roundEnd = ev.SndNxt
 		b.roundStart = ev.Now

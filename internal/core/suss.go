@@ -27,6 +27,7 @@ import (
 
 	"suss/internal/cc"
 	"suss/internal/cubic"
+	"suss/internal/obs"
 )
 
 // Options configures SUSS.
@@ -127,6 +128,17 @@ type Suss struct {
 
 	enabled bool
 	stats   Stats
+
+	// rec, when non-nil, receives SUSS round/boost/exit events.
+	rec *obs.FlowRecorder
+}
+
+// AttachRecorder installs a flight recorder on this controller (and
+// on the wrapped CUBIC, so its HyStart exits are attributed too).
+// Pass nil to detach.
+func (s *Suss) AttachRecorder(r *obs.FlowRecorder) {
+	s.rec = r
+	s.cubic.AttachRecorder(r)
 }
 
 // New creates a CUBIC+SUSS controller bound to the transport env.
@@ -256,6 +268,10 @@ func (s *Suss) startRound(ev cc.AckEvent) {
 
 	s.round++
 	s.stats.Rounds = s.round
+	if r := s.rec; r != nil {
+		r.C.SussRounds++
+		r.Record(ev.Now, obs.EvSussRoundStart, ev.CumAck, 0, int64(s.round), s.cubic.CwndBytes())
+	}
 	s.roundStartT = ev.Now
 	s.roundStartSndNxt = ev.SndNxt
 	s.roundStartCum = ev.CumAck
@@ -350,6 +366,10 @@ func (s *Suss) beginPacing(g int) {
 		return
 	}
 	s.stats.AcceleratedRounds++
+	if r := s.rec; r != nil {
+		r.C.SussBoosts++
+		r.Record(now, obs.EvSussBoost, 0, 0, int64(g), redGrowth)
+	}
 
 	if s.opt.NoPacing {
 		// Clocking-only ablation: grant the red window at once; the
@@ -472,6 +492,10 @@ func (s *Suss) modifiedHyStart(ev cc.AckEvent) {
 			} else {
 				// Unscaled signal: behave exactly like HyStart.
 				s.stats.TrainExits++
+				if r := s.rec; r != nil {
+					r.C.HyStartExits++
+					r.Record(now, obs.EvHyStartExit, 0, 0, int64(obs.ExitTrain), s.cubic.CwndBytes())
+				}
 				s.exitSlowStart()
 				return
 			}
@@ -484,6 +508,10 @@ func (s *Suss) modifiedHyStart(ev cc.AckEvent) {
 	if isBlue && s.rttSamples >= minSamples && s.moRTT > 0 {
 		if float64(s.moRTT) > s.opt.DelayFactor*float64(s.minRTT) {
 			s.stats.DelayExits++
+			if r := s.rec; r != nil {
+				r.C.HyStartExits++
+				r.Record(now, obs.EvHyStartExit, 0, 0, int64(obs.ExitDelay), s.cubic.CwndBytes())
+			}
 			s.exitSlowStart()
 		}
 	}
@@ -492,6 +520,10 @@ func (s *Suss) modifiedHyStart(ev cc.AckEvent) {
 // checkCap enforces the postponed stop installed by modifiedHyStart.
 func (s *Suss) checkCap() {
 	if s.capSet && s.cubic.CwndBytes() >= s.capBytes {
+		if r := s.rec; r != nil {
+			r.C.HyStartExits++
+			r.Record(s.env.Now(), obs.EvHyStartExit, 0, 0, int64(obs.ExitCap), s.cubic.CwndBytes())
+		}
 		s.exitSlowStart()
 	}
 }
@@ -504,6 +536,16 @@ func (s *Suss) exitSlowStart() {
 // disable turns SUSS off for the rest of the connection (slow start is
 // over; CUBIC congestion avoidance takes it from here).
 func (s *Suss) disable(abortPacing bool) {
+	if s.enabled {
+		if r := s.rec; r != nil {
+			r.C.SussExits++
+			var aborted int64
+			if abortPacing && (s.pacingActive || s.frozenRound) {
+				aborted = 1
+			}
+			r.Record(s.env.Now(), obs.EvSussExit, 0, 0, aborted, s.cubic.CwndBytes())
+		}
+	}
 	s.enabled = false
 	if abortPacing || s.pacingActive || s.frozenRound {
 		s.stopPacing()

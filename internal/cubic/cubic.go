@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"suss/internal/cc"
+	"suss/internal/obs"
 )
 
 // Options configures CUBIC.
@@ -82,6 +83,22 @@ type Cubic struct {
 
 	// HyStart++ state (nil unless Options.HyStartPP).
 	hspp *hystartPP
+
+	// rec, when non-nil, receives HyStart exit events.
+	rec *obs.FlowRecorder
+}
+
+// AttachRecorder installs a flight recorder on this controller. Pass
+// nil to detach.
+func (c *Cubic) AttachRecorder(r *obs.FlowRecorder) { c.rec = r }
+
+// noteHyStartExit records a slow-start exit decided by one of the
+// HyStart variants.
+func (c *Cubic) noteHyStartExit(now time.Duration, reason obs.HyStartReason) {
+	if r := c.rec; r != nil {
+		r.C.HyStartExits++
+		r.Record(now, obs.EvHyStartExit, 0, 0, int64(reason), c.CwndBytes())
+	}
 }
 
 // New creates a CUBIC controller bound to the transport environment.
@@ -238,6 +255,7 @@ func (c *Cubic) hystartUpdate(ev cc.AckEvent) {
 	if gap <= hystartAckDelta {
 		if now-c.roundStart > minRTT/2 {
 			c.ExitSlowStart()
+			c.noteHyStartExit(now, obs.ExitTrain)
 			return
 		}
 	}
@@ -259,6 +277,7 @@ func (c *Cubic) hystartUpdate(ev cc.AckEvent) {
 			}
 			if c.hyCurrRTT >= minRTT+thresh {
 				c.ExitSlowStart()
+				c.noteHyStartExit(now, obs.ExitDelay)
 			}
 		}
 	}

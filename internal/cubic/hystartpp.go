@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"suss/internal/cc"
+	"suss/internal/obs"
 )
 
 // hystartPP implements HyStart++ (RFC 9406), the slow-start exit
@@ -113,5 +114,6 @@ func (c *Cubic) hystartPPUpdate(ev cc.AckEvent, newRound bool) {
 	}
 	if c.hspp.sample(ev.RTT, c.cwnd) {
 		c.ExitSlowStart()
+		c.noteHyStartExit(ev.Now, obs.ExitCSS)
 	}
 }

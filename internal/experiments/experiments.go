@@ -62,6 +62,7 @@ type config struct {
 	ctx      context.Context
 	workers  int
 	progress func(done, total int)
+	lossAcct bool
 }
 
 func newConfig(opts []Option) config {
@@ -90,6 +91,14 @@ func WithContext(ctx context.Context) Option {
 // WithProgress installs a per-job completion callback (serialized).
 func WithProgress(fn func(done, total int)) Option {
 	return func(c *config) { c.progress = fn }
+}
+
+// WithLossAccounting attaches a flight recorder to every download in
+// the sweep and aggregates the cross-layer loss ledgers into the
+// result (sweeps that support it; currently Fig. 11). Default output
+// is unchanged when the option is absent.
+func WithLossAccounting() Option {
+	return func(c *config) { c.lossAcct = true }
 }
 
 // Download runs one file transfer over an internet-matrix scenario.

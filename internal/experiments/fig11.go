@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"suss/internal/netem"
+	"suss/internal/obs"
 	"suss/internal/runner"
 	"suss/internal/scenarios"
 	"suss/internal/stats"
@@ -28,6 +29,10 @@ type Fig11Result struct {
 	// Incomplete counts downloads that never finished; they are
 	// excluded from the summaries.
 	Incomplete int
+	// Ledgers[link] aggregates the cross-layer loss accounting over
+	// every download of that link type (nil unless the sweep ran with
+	// WithLossAccounting).
+	Ledgers []obs.LossLedger
 }
 
 // RunFig11 declares the whole sweep — link types × flow sizes ×
@@ -47,22 +52,33 @@ func RunFig11(server scenarios.Server, sizes []int64, iters int, seed int64, opt
 		for _, size := range sizes {
 			for _, algo := range res.Algos {
 				for it := 0; it < iters; it++ {
-					jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it})
+					jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it, Observe: cfg.lossAcct})
 				}
 			}
 		}
 	}
 	out := runner.Run(cfg.ctx, jobs, cfg.pool())
+	if cfg.lossAcct {
+		res.Ledgers = make([]obs.LossLedger, len(res.Links))
+	}
 
 	k := 0
-	for range res.Links {
+	for li := range res.Links {
 		var bySize [][]stats.Summary
 		var imp []float64
 		for range sizes {
 			var byAlgo []stats.Summary
 			var cubicMean, sussMean float64
 			for _, algo := range res.Algos {
-				b := summarizeBatch(out[k : k+iters])
+				batch := out[k : k+iters]
+				if cfg.lossAcct {
+					for _, r := range batch {
+						if r.Ledger != nil {
+							res.Ledgers[li].Add(*r.Ledger)
+						}
+					}
+				}
+				b := summarizeBatch(batch)
 				k += iters
 				res.Incomplete += b.incomplete
 				s := stats.Summarize(b.fcts)
@@ -105,6 +121,18 @@ func (r Fig11Result) Render() string {
 	}
 	if r.Incomplete > 0 {
 		fmt.Fprintf(&b, "  WARNING: %d download(s) did not complete (excluded)\n", r.Incomplete)
+	}
+	if len(r.Ledgers) > 0 {
+		fmt.Fprintf(&b, "  loss accounting (all algos × sizes × iters per link type):\n")
+		for li, lt := range r.Links {
+			l := r.Ledgers[li]
+			fmt.Fprintf(&b, "    %-6s sent=%d retrans=%d (fast=%d rto=%d tlp=%d) detected=%d spurious=%d rtos=%d tlps=%d path_drops=%d erasures=%d\n",
+				lt, l.SegsSent, l.SegsRetrans, l.RetransFast, l.RetransRTO, l.RetransTLP,
+				l.LossDetected, l.SpuriousRetrans, l.RTOFires, l.TLPFires, l.PathDataDrops, l.PathErasures)
+			for _, p := range l.Check() {
+				fmt.Fprintf(&b, "      INCONSISTENT: %s\n", p)
+			}
+		}
 	}
 	return b.String()
 }

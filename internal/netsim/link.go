@@ -3,6 +3,8 @@ package netsim
 import (
 	"fmt"
 	"time"
+
+	"suss/internal/obs"
 )
 
 // RateFunc returns the link's instantaneous transmission rate in bits
@@ -74,10 +76,18 @@ type Link struct {
 	lastArrival time.Duration // for in-order clamping
 	stats       LinkStats
 
+	// rec, when non-nil, is the attached flight recorder for this
+	// link's queue counters and drop events.
+	rec *obs.LinkRecorder
+
 	// OnDrop, when non-nil, is invoked for every packet lost on this
 	// link (tail drop or random loss).
 	OnDrop func(pkt *Packet, congestion bool)
 }
+
+// AttachRecorder installs a flight recorder on this link. Pass nil to
+// detach.
+func (l *Link) AttachRecorder(r *obs.LinkRecorder) { l.rec = r }
 
 // NewLink creates a link feeding dst. The configuration is validated:
 // a non-positive fixed rate panics, since it would stall the queue
@@ -136,6 +146,9 @@ func (l *Link) Enqueue(pkt *Packet) {
 	if !l.qdisc.Enqueue(l.sim.Now(), pkt) {
 		l.stats.DroppedPackets++
 		l.stats.DroppedBytes += int64(pkt.Size)
+		if r := l.rec; r != nil {
+			r.Dropped(l.sim.Now(), obs.DropTail, int32(pkt.Flow), pkt.Seq, pkt.Size, pkt.Kind == Data)
+		}
 		if l.OnDrop != nil {
 			l.OnDrop(pkt, true)
 		}
@@ -146,6 +159,9 @@ func (l *Link) Enqueue(pkt *Packet) {
 	l.stats.EnqueuedBytes += int64(pkt.Size)
 	if b := l.qdisc.Bytes(); b > l.stats.MaxQueueBytes {
 		l.stats.MaxQueueBytes = b
+	}
+	if r := l.rec; r != nil {
+		r.Enqueued(pkt.Size, l.qdisc.Bytes())
 	}
 	if !l.busy {
 		l.startTransmit()
@@ -166,6 +182,9 @@ func (l *Link) startTransmit() {
 		// AQM (CoDel) drops are congestion signals like tail drops.
 		l.stats.DroppedPackets++
 		l.stats.DroppedBytes += int64(d.Size)
+		if r := l.rec; r != nil {
+			r.Dropped(l.sim.Now(), obs.DropAQM, int32(d.Flow), d.Seq, d.Size, d.Kind == Data)
+		}
 		if l.OnDrop != nil {
 			l.OnDrop(d, true)
 		}
@@ -191,6 +210,9 @@ func (l *Link) finishTransmit(pkt *Packet) {
 
 	if l.cfg.Loss != nil && l.cfg.Loss(pkt) {
 		l.stats.ErasedPackets++
+		if r := l.rec; r != nil {
+			r.Dropped(l.sim.Now(), obs.DropErasure, int32(pkt.Flow), pkt.Seq, pkt.Size, pkt.Kind == Data)
+		}
 		if l.OnDrop != nil {
 			l.OnDrop(pkt, false)
 		}

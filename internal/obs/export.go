@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteEventsJSONL streams the retained events as JSON Lines, oldest
+// first, one object per line. Field meaning follows the EventKind
+// docs; "cause" is the decoded Aux for kinds that carry one.
+func WriteEventsJSONL(w io.Writer, r *Ring) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	r.Do(func(ev Event) bool {
+		_, e := fmt.Fprintf(bw,
+			`{"t_us":%d,"kind":%q,"flow":%d,"seq":%d,"len":%d,"aux":%d,"aux2":%d%s}`+"\n",
+			ev.T.Microseconds(), ev.Kind.String(), ev.Flow, ev.Seq, ev.Len, ev.Aux, ev.Aux2,
+			causeField(ev))
+		if e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteEventsCSV streams the retained events as CSV with a header row.
+func WriteEventsCSV(w io.Writer, r *Ring) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "t_us,kind,flow,seq,len,aux,aux2"); err != nil {
+		return err
+	}
+	var err error
+	r.Do(func(ev Event) bool {
+		_, e := fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d,%d\n",
+			ev.T.Microseconds(), ev.Kind, ev.Flow, ev.Seq, ev.Len, ev.Aux, ev.Aux2)
+		if e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// causeField renders the per-kind decoded Aux as an extra JSON field
+// (empty for kinds whose Aux is a plain number).
+func causeField(ev Event) string {
+	switch ev.Kind {
+	case EvSegRetrans:
+		return `,"cause":"` + RetransCause(ev.Aux).String() + `"`
+	case EvQdiscDrop:
+		return `,"cause":"` + DropCause(ev.Aux).String() + `"`
+	case EvHyStartExit:
+		return `,"cause":"` + HyStartReason(ev.Aux).String() + `"`
+	default:
+		return ""
+	}
+}
+
+// WriteTimeline renders the retained events as a human-readable
+// per-line narrative, oldest first — the "what did this flow actually
+// do" view for debugging a single download.
+func WriteTimeline(w io.Writer, r *Ring) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	r.Do(func(ev Event) bool {
+		_, e := fmt.Fprintf(bw, "%12s flow=%-2d %-14s %s\n",
+			fmtT(ev.T), ev.Flow, ev.Kind, describe(ev))
+		if e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if r.Overwritten() > 0 {
+		if _, err := fmt.Fprintf(bw, "(ring overwrote %d older events)\n", r.Overwritten()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func fmtT(t time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(t.Microseconds())/1000)
+}
+
+// describe expands the per-kind payload for the timeline view.
+func describe(ev Event) string {
+	switch ev.Kind {
+	case EvSegSent:
+		return fmt.Sprintf("seq=%d len=%d inflight=%d", ev.Seq, ev.Len, ev.Aux)
+	case EvSegRetrans:
+		return fmt.Sprintf("seq=%d len=%d cause=%s", ev.Seq, ev.Len, RetransCause(ev.Aux))
+	case EvAckRecvd:
+		return fmt.Sprintf("cum=%d newly_acked=%d inflight=%d", ev.Seq, ev.Len, ev.Aux)
+	case EvSackRecvd:
+		return fmt.Sprintf("cum=%d ranges=%d", ev.Seq, ev.Aux)
+	case EvRTOFired:
+		return fmt.Sprintf("rto_count=%d", ev.Aux)
+	case EvTLPFired:
+		return fmt.Sprintf("probe_seq=%d len=%d", ev.Seq, ev.Len)
+	case EvLossDetected:
+		return fmt.Sprintf("seq=%d len=%d", ev.Seq, ev.Len)
+	case EvCwndChanged:
+		return fmt.Sprintf("cwnd=%d (was %d)", ev.Aux, ev.Aux2)
+	case EvSussRoundStart:
+		return fmt.Sprintf("round=%d cwnd=%d", ev.Aux, ev.Aux2)
+	case EvSussBoost:
+		return fmt.Sprintf("g=%d red_bytes=%d", ev.Aux, ev.Aux2)
+	case EvSussExit:
+		if ev.Aux == 1 {
+			return "pacing aborted"
+		}
+		return "slow start over"
+	case EvHyStartExit:
+		return fmt.Sprintf("reason=%s cwnd=%d", HyStartReason(ev.Aux), ev.Aux2)
+	case EvQdiscDrop:
+		return fmt.Sprintf("seq=%d size=%d cause=%s", ev.Seq, ev.Aux2, DropCause(ev.Aux))
+	default:
+		return fmt.Sprintf("seq=%d len=%d aux=%d aux2=%d", ev.Seq, ev.Len, ev.Aux, ev.Aux2)
+	}
+}
+
+// WriteCounters dumps every flow and link counter block in attach
+// order as aligned name/value lines — the -counters view.
+func WriteCounters(w io.Writer, g *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range g.Flows() {
+		if _, err := fmt.Fprintf(bw, "flow %d:\n", f.Flow); err != nil {
+			return err
+		}
+		c := &f.C
+		rows := []struct {
+			name string
+			v    int64
+		}{
+			{"segs_sent", c.SegsSent},
+			{"segs_retrans", c.SegsRetrans},
+			{"retrans_fast", c.RetransFast},
+			{"retrans_rto", c.RetransRTO},
+			{"retrans_tlp", c.RetransTLP},
+			{"acks_seen", c.AcksSeen},
+			{"sack_ranges", c.SackRanges},
+			{"rto_fires", c.RTOFires},
+			{"tlp_fires", c.TLPFires},
+			{"loss_detected", c.LossDetected},
+			{"spurious_retrans", c.SpuriousRetrans},
+			{"cwnd_changes", c.CwndChanges},
+			{"rcv_segs", c.RcvSegs},
+			{"rcv_dup_segs", c.RcvDupSegs},
+			{"rcv_dup_bytes", c.RcvDupBytes},
+			{"suss_rounds", c.SussRounds},
+			{"suss_boosts", c.SussBoosts},
+			{"suss_exits", c.SussExits},
+			{"hystart_exits", c.HyStartExits},
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(bw, "  %-18s %d\n", r.name, r.v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, l := range g.Links() {
+		if _, err := fmt.Fprintf(bw, "link %s:\n", l.Name); err != nil {
+			return err
+		}
+		c := &l.C
+		rows := []struct {
+			name string
+			v    int64
+		}{
+			{"enq_pkts", c.EnqueuedPkts},
+			{"enq_bytes", c.EnqueuedBytes},
+			{"taildrop_pkts", c.TailDropPkts},
+			{"taildrop_bytes", c.TailDropBytes},
+			{"aqm_drop_pkts", c.AQMDropPkts},
+			{"aqm_drop_bytes", c.AQMDropBytes},
+			{"erased_pkts", c.ErasedPkts},
+			{"erased_bytes", c.ErasedBytes},
+			{"data_drop_pkts", c.DataDropPkts},
+			{"depth_hiwater", c.DepthHighWaterBytes},
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(bw, "  %-18s %d\n", r.name, r.v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -9,6 +9,7 @@ import (
 	"suss/internal/cc"
 	"suss/internal/core"
 	"suss/internal/netsim"
+	"suss/internal/obs"
 	"suss/internal/scenarios"
 	"suss/internal/tcp"
 )
@@ -38,6 +39,11 @@ type Job struct {
 	SussOpt *core.Options
 	// Horizon caps simulated time (0 = DefaultHorizon).
 	Horizon time.Duration
+	// Observe attaches a flight recorder (sender, receiver, controller
+	// and every forward link) and fills DownloadResult.Ledger. Each job
+	// gets its own registry, so observed sweeps stay race-free at any
+	// worker count.
+	Observe bool
 }
 
 func (j Job) describe() string {
@@ -59,6 +65,15 @@ type DownloadResult struct {
 	MaxG        int     // SUSS only
 	AccelRounds int     // SUSS only
 	Completed   bool
+	// Ledger is the cross-layer loss accounting (nil unless
+	// Job.Observe was set).
+	Ledger *obs.LossLedger
+}
+
+// recorderAttacher is implemented by every congestion controller that
+// can emit into the flight recorder.
+type recorderAttacher interface {
+	AttachRecorder(*obs.FlowRecorder)
 }
 
 // Result pairs a job with its measurement. Err is non-nil when the
@@ -87,6 +102,21 @@ func Download(j Job) DownloadResult {
 		ctrl = NewController(j.Algo, f.Sender)
 	}
 	f.Sender.SetController(ctrl)
+	var reg *obs.Registry
+	if j.Observe {
+		reg = obs.NewRegistry(0)
+		fr := reg.Flow(1)
+		f.Sender.AttachRecorder(fr)
+		f.Receiver.AttachRecorder(fr)
+		if a, ok := ctrl.(recorderAttacher); ok {
+			a.AttachRecorder(fr)
+		}
+		// Every forward link: the ledger needs all data-path drops, not
+		// just the last hop's.
+		for i, l := range p.Fwd {
+			l.AttachRecorder(reg.Link(fmt.Sprintf("fwd%d/%s", i, l.Name())))
+		}
+	}
 	f.StartAt(sim, 0)
 	horizon := j.Horizon
 	if horizon <= 0 {
@@ -115,6 +145,15 @@ func Download(j Job) DownloadResult {
 	if s, ok := ctrl.(*core.Suss); ok {
 		res.MaxG = s.Stats().MaxG
 		res.AccelRounds = s.Stats().AcceleratedRounds
+	}
+	if reg != nil {
+		links := reg.Links()
+		lcs := make([]*obs.LinkCounters, len(links))
+		for i, l := range links {
+			lcs[i] = &l.C
+		}
+		led := obs.MakeLedger(&reg.Flow(1).C, lcs...)
+		res.Ledger = &led
 	}
 	return res
 }

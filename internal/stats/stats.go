@@ -44,6 +44,12 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile on an already-sorted slice, so callers
+// computing several percentiles sort only once.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -97,28 +103,22 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes a Summary.
+// Summarize computes a Summary. The input is copied and sorted once;
+// both percentiles (and min/max) read the shared sorted slice.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	mn, mx := xs[0], xs[0]
-	for _, x := range xs {
-		if x < mn {
-			mn = x
-		}
-		if x > mx {
-			mx = x
-		}
-	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
 	return Summary{
 		N:      len(xs),
 		Mean:   Mean(xs),
 		StdDev: StdDev(xs),
-		P50:    Percentile(xs, 50),
-		P95:    Percentile(xs, 95),
-		Min:    mn,
-		Max:    mx,
+		P50:    percentileSorted(sorted, 50),
+		P95:    percentileSorted(sorted, 95),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
 	}
 }
 
@@ -137,8 +137,14 @@ func NewBinnedCounter(bin time.Duration) *BinnedCounter {
 	return &BinnedCounter{Bin: bin}
 }
 
-// Add accumulates v into the bin containing time t.
+// Add accumulates v into the bin containing time t. A negative t (a
+// pre-start event, e.g. an observation stamped before the flow's
+// virtual start) clamps into the first bin rather than panicking on a
+// negative index.
 func (b *BinnedCounter) Add(t time.Duration, v float64) {
+	if t < 0 {
+		t = 0
+	}
 	idx := int(t / b.Bin)
 	for len(b.vals) <= idx {
 		b.vals = append(b.vals, 0)

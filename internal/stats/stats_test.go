@@ -110,6 +110,64 @@ func TestBinnedCounter(t *testing.T) {
 	}
 }
 
+// Regression: Add used to compute a negative bin index for t < 0 and
+// panic indexing vals[-1]. Pre-start timestamps now clamp into bin 0.
+func TestBinnedCounterNegativeTime(t *testing.T) {
+	b := NewBinnedCounter(time.Second)
+	b.Add(-500*time.Millisecond, 3)
+	b.Add(-10*time.Second, 4)
+	b.Add(100*time.Millisecond, 1)
+	bins := b.Bins()
+	if len(bins) != 1 || bins[0] != 8 {
+		t.Errorf("bins = %v, want [8]", bins)
+	}
+}
+
+// Golden values pin Summarize's exact outputs: the single-sort rewrite
+// must reproduce what the sort-per-percentile version computed,
+// including the P95 linear interpolation and min/max off the sorted
+// slice.
+func TestSummarizeGolden(t *testing.T) {
+	xs := []float64{9, 1, 4, 4, 2, 8, 5, 7, 3, 6} // 1..9 with 4 doubled
+	s := Summarize(xs)
+	want := Summary{
+		N:      10,
+		Mean:   4.9,
+		StdDev: math.Sqrt(6.09),
+		P50:    4.5,  // rank 4.5 between sorted[4]=4 and sorted[5]=5
+		P95:    8.55, // rank 8.55 between sorted[8]=8 and sorted[9]=9
+		Min:    1,
+		Max:    9,
+	}
+	if s.N != want.N || !almost(s.Mean, want.Mean) || !almost(s.StdDev, want.StdDev) ||
+		!almost(s.P50, want.P50) || !almost(s.P95, want.P95) ||
+		!almost(s.Min, want.Min) || !almost(s.Max, want.Max) {
+		t.Errorf("Summarize = %+v, want %+v", s, want)
+	}
+	// Input order must survive (the sort works on a copy).
+	if xs[0] != 9 || xs[len(xs)-1] != 6 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+// Property: Summarize's percentiles agree with the standalone
+// Percentile on arbitrary inputs — the shared-sorted-slice path is an
+// optimization, not a behavior change.
+func TestSummarizeMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, rng.Intn(20)+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		if !almost(s.P50, Percentile(xs, 50)) || !almost(s.P95, Percentile(xs, 95)) {
+			t.Fatalf("trial %d: Summarize %+v disagrees with Percentile (P50=%v P95=%v) on %v",
+				trial, s, Percentile(xs, 50), Percentile(xs, 95), xs)
+		}
+	}
+}
+
 func TestJainOverTime(t *testing.T) {
 	a := NewBinnedCounter(time.Second)
 	c := NewBinnedCounter(time.Second)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"suss/internal/netsim"
+	"suss/internal/obs"
 )
 
 // maxRecentSacks is how many recently-extended ranges the receiver
@@ -48,7 +49,16 @@ type Receiver struct {
 	// The packet is pool-owned and released when Handle returns:
 	// observers must copy what they keep, never retain pkt.
 	OnData func(now time.Duration, pkt *netsim.Packet)
+
+	// rec, when non-nil, receives ground-truth duplicate-payload
+	// counters (the receiver-side complement of the sender's
+	// spurious-retransmit detection).
+	rec *obs.FlowRecorder
 }
+
+// AttachRecorder installs a flight recorder on this receiver. Pass
+// nil to detach.
+func (r *Receiver) AttachRecorder(rec *obs.FlowRecorder) { r.rec = rec }
 
 // NewReceiver creates a receiver for one flow terminating at host.
 // size is the expected stream length for completion detection (0
@@ -87,6 +97,15 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 	added := r.merge(pkt.Seq, pkt.Seq+pkt.Len)
 	r.received += added
 	newCum := r.CumAck()
+	if o := r.rec; o != nil {
+		o.C.RcvSegs++
+		if added < pkt.Len {
+			// Part of the payload was already held: a retransmission
+			// (or a spuriously resent segment) duplicated data.
+			o.C.RcvDupSegs++
+			o.C.RcvDupBytes += pkt.Len - added
+		}
+	}
 
 	if !r.completed && r.size > 0 && newCum >= r.size {
 		r.completed = true

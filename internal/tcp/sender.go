@@ -6,6 +6,7 @@ import (
 
 	"suss/internal/cc"
 	"suss/internal/netsim"
+	"suss/internal/obs"
 )
 
 // segment states for the scoreboard.
@@ -23,6 +24,7 @@ const (
 // sample is (delivered_now − delivAtSend) / (now − sentAt).
 type segInfo struct {
 	st          segState
+	lostBy      uint8 // obs.RetransCause that marked it lost (valid in stLost)
 	sentAt      time.Duration
 	delivAtSend int64
 	retrans     bool // ever retransmitted: rate samples are ambiguous
@@ -98,6 +100,12 @@ type Sender struct {
 	doneAt   time.Duration
 
 	stats SenderStats
+
+	// rec, when non-nil, is the attached flight recorder; every
+	// emission site is guarded by a nil check so an unobserved sender
+	// pays one branch per site. lastCwnd backs EvCwndChanged.
+	rec      *obs.FlowRecorder
+	lastCwnd int64
 
 	// OnComplete fires once when every byte has been cumulatively
 	// acknowledged.
@@ -180,6 +188,30 @@ func (s *Sender) Delivered() int64 { return s.delivered }
 // the sender as their cc.Env, so construction is two-phase: build the
 // flow with a nil controller, then install one before Start.
 func (s *Sender) SetController(ctrl cc.Controller) { s.ctrl = ctrl }
+
+// AttachRecorder installs a flight recorder on this sender. Attach
+// after SetController so the cwnd-change baseline starts at the
+// controller's initial window. Pass nil to detach.
+func (s *Sender) AttachRecorder(r *obs.FlowRecorder) {
+	s.rec = r
+	if r != nil && s.ctrl != nil {
+		s.lastCwnd = s.ctrl.CwndBytes()
+	}
+}
+
+// noteCwnd records a congestion-window change observed after a
+// controller callback returned.
+func (s *Sender) noteCwnd(now time.Duration) {
+	r := s.rec
+	if r == nil {
+		return
+	}
+	if cw := s.ctrl.CwndBytes(); cw != s.lastCwnd {
+		r.C.CwndChanges++
+		r.Record(now, obs.EvCwndChanged, 0, 0, cw, s.lastCwnd)
+		s.lastCwnd = cw
+	}
+}
 
 // Start begins transmitting at the current virtual time.
 func (s *Sender) Start() {
@@ -282,8 +314,10 @@ func (s *Sender) emit(seg, l int64, retrans bool) {
 	pkt.Seq = seg
 	pkt.Len = l
 	pkt.SentAt = now
+	var cause uint8
 	if retrans {
 		pkt.Retrans = true
+		cause = s.state[seg].lostBy
 		s.removeFromLostQueue(seg)
 		s.state[seg] = segInfo{st: stRetransInFlight, sentAt: now, delivAtSend: s.delivered, retrans: true}
 		if seg+l <= s.highestSacked {
@@ -300,6 +334,23 @@ func (s *Sender) emit(seg, l int64, retrans bool) {
 	s.inflight += l
 	s.stats.BytesSent += l
 	s.stats.SegmentsSent++
+	if r := s.rec; r != nil {
+		if retrans {
+			r.C.SegsRetrans++
+			switch obs.RetransCause(cause) {
+			case obs.CauseFast:
+				r.C.RetransFast++
+			case obs.CauseRTO:
+				r.C.RetransRTO++
+			case obs.CauseTLP:
+				r.C.RetransTLP++
+			}
+			r.Record(now, obs.EvSegRetrans, seg, l, int64(cause), 0)
+		} else {
+			r.C.SegsSent++
+			r.Record(now, obs.EvSegSent, seg, l, s.inflight, 0)
+		}
+	}
 	s.ctrl.OnPacketSent(now, int(l), seg, retrans)
 	s.host.Send(pkt)
 	s.armRTO()
@@ -345,6 +396,13 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 				s.removeFromLostQueue(seg)
 				s.delivered += l
 				newBytes += l
+				// The original transmission was acknowledged while the
+				// segment was still marked lost: the loss marking was
+				// contradicted, so any retransmission is (or would have
+				// been) spurious.
+				if r := s.rec; r != nil {
+					r.C.SpuriousRetrans++
+				}
 			case stSacked:
 				// already counted
 			}
@@ -388,6 +446,11 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 					bwSample = s.rateSample(info, now, bwSample)
 				case stLost:
 					s.removeFromLostQueue(seg)
+					// Selectively acked while marked lost: contradicted
+					// loss marking, same as the cumulative case above.
+					if r := s.rec; r != nil {
+						r.C.SpuriousRetrans++
+					}
 				}
 				info.st = stSacked
 				s.state[seg] = info
@@ -398,6 +461,15 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 					s.highestSacked = seg + l
 				}
 			}
+		}
+	}
+
+	if r := s.rec; r != nil {
+		r.C.AcksSeen++
+		r.Record(now, obs.EvAckRecvd, pkt.CumAck, newBytes, s.inflight, 0)
+		if pkt.NSack > 0 {
+			r.C.SackRanges += int64(pkt.NSack)
+			r.Record(now, obs.EvSackRecvd, pkt.CumAck, 0, int64(pkt.NSack), 0)
 		}
 	}
 
@@ -417,6 +489,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 
 	// Completion.
 	if s.sndUna >= s.size {
+		s.noteCwnd(now)
 		if s.OnAckTrace != nil {
 			s.OnAckTrace(now, s.ctrl.CwndBytes(), s.rtt.SRTT(), s.delivered)
 		}
@@ -438,6 +511,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 			BW:         bwSample,
 		})
 	}
+	s.noteCwnd(now)
 	if s.OnAckTrace != nil {
 		s.OnAckTrace(now, s.ctrl.CwndBytes(), s.rtt.SRTT(), s.delivered)
 	}
@@ -573,10 +647,15 @@ func (s *Sender) detectLosses(now time.Duration) int64 {
 			l := s.segLen(seg)
 			s.inflight -= l
 			info.st = stLost
+			info.lostBy = uint8(obs.CauseFast)
 			s.state[seg] = info
 			s.insertLost(seg)
 			delete(s.holes, seg)
 			newly += l
+			if r := s.rec; r != nil {
+				r.C.LossDetected++
+				r.Record(now, obs.EvLossDetected, seg, l, 0, 0)
+			}
 		}
 	}
 	return newly
@@ -642,11 +721,16 @@ func (s *Sender) fireTLP() {
 	s.tlpArmed = false
 	s.stats.TLPs++
 	l := s.segLen(tail)
+	if r := s.rec; r != nil {
+		r.C.TLPFires++
+		r.Record(s.sim.Now(), obs.EvTLPFired, tail, l, 0, 0)
+	}
 	// Re-send the tail as a retransmission (accounting: the original is
 	// written off, the probe takes its place in flight).
 	s.inflight -= l
 	info := s.state[tail]
 	info.st = stLost
+	info.lostBy = uint8(obs.CauseTLP)
 	s.state[tail] = info
 	s.insertLost(tail)
 	s.emit(tail, l, true)
@@ -681,9 +765,18 @@ func (s *Sender) fireRTO() {
 	s.tlpArmed = false
 	s.tlpTimer.Stop()
 	s.rtt.Backoff()
+	if r := s.rec; r != nil {
+		r.C.RTOFires++
+		r.Record(s.sim.Now(), obs.EvRTOFired, s.sndUna, 0, int64(s.stats.RTOs), 0)
+	}
 	s.ctrl.OnRTO(s.sim.Now())
+	s.noteCwnd(s.sim.Now())
 	// Mark everything outstanding as lost and rebuild the retransmit
 	// queue from the scoreboard (go-back-N under the collapsed window).
+	// Every segment the rebuild touches is re-attributed to the RTO —
+	// including ones fast detection had already marked — so the
+	// retransmit-cause partition reflects what actually queued the
+	// resend that follows.
 	s.lostQueue = s.lostQueue[:0]
 	for seg := segStart(s.sndUna, s.cfg.MSS); seg < s.sndNxt; seg += int64(s.cfg.MSS) {
 		info, ok := s.state[seg]
@@ -694,9 +787,12 @@ func (s *Sender) fireRTO() {
 		case stInflight, stRetransInFlight:
 			s.inflight -= s.segLen(seg)
 			info.st = stLost
+			info.lostBy = uint8(obs.CauseRTO)
 			s.state[seg] = info
 			s.insertLost(seg)
 		case stLost:
+			info.lostBy = uint8(obs.CauseRTO)
+			s.state[seg] = info
 			s.insertLost(seg)
 		}
 	}

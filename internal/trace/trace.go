@@ -35,10 +35,16 @@ type FlowTrace struct {
 }
 
 // Attach hooks a trace onto a sender, recording at most one sample per
-// `every` of virtual time (zero records every ACK).
+// `every` of virtual time (zero records every ACK). A previously
+// installed OnAckTrace hook keeps firing: observers chain rather than
+// silently replacing each other, in installation order.
 func Attach(s *tcp.Sender, name string, every time.Duration) *FlowTrace {
 	tr := &FlowTrace{Name: name, every: every}
+	prev := s.OnAckTrace
 	s.OnAckTrace = func(now time.Duration, cwnd int64, srtt time.Duration, delivered int64) {
+		if prev != nil {
+			prev(now, cwnd, srtt, delivered)
+		}
 		if tr.seen && every > 0 && now-tr.last < every {
 			return
 		}

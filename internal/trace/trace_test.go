@@ -83,6 +83,89 @@ func TestAtAndQueries(t *testing.T) {
 	}
 }
 
+// Regression: Attach used to overwrite any OnAckTrace hook already on
+// the sender, so a second observer silently killed the first. Both must
+// record.
+func TestAttachChainsObservers(t *testing.T) {
+	sim := netsim.NewSimulator()
+	p := netsim.NewPath(sim, netsim.PathSpec{Forward: []netsim.LinkConfig{
+		{Name: "core", Rate: 1e9, Delay: 10 * time.Millisecond, QueueBytes: 16 << 20},
+		{Name: "bneck", Rate: 1e8, Delay: 10 * time.Millisecond, QueueBytes: 1 << 20},
+	}})
+	f := tcp.NewFlow(sim, tcp.DefaultConfig(), 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), 1<<20, nil)
+	f.Sender.SetController(cubic.New(f.Sender, cubic.DefaultOptions()))
+	dense := Attach(f.Sender, "dense", 0)
+	sparse := Attach(f.Sender, "sparse", 50*time.Millisecond)
+	f.StartAt(sim, 0)
+	sim.Run(time.Minute)
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	if len(dense.Samples) == 0 {
+		t.Fatal("first-attached observer recorded nothing — Attach clobbered its hook")
+	}
+	if len(sparse.Samples) == 0 {
+		t.Fatal("second-attached observer recorded nothing")
+	}
+	// Each keeps its own sampling policy on the shared event stream.
+	if len(sparse.Samples) >= len(dense.Samples) {
+		t.Errorf("chained observers lost independent rate limits: dense=%d sparse=%d",
+			len(dense.Samples), len(sparse.Samples))
+	}
+	if dense.Samples[len(dense.Samples)-1].Delivered != 1<<20 {
+		t.Errorf("dense final delivered = %d", dense.Samples[len(dense.Samples)-1].Delivered)
+	}
+}
+
+func TestQueriesOnEmptyTrace(t *testing.T) {
+	tr := &FlowTrace{Name: "empty"}
+	if s := tr.At(time.Second); s != (Sample{}) {
+		t.Errorf("At on empty trace = %+v, want zero Sample", s)
+	}
+	if tr.MaxCwnd() != 0 || tr.MaxSRTT() != 0 {
+		t.Error("max queries on empty trace should be 0")
+	}
+	if _, ok := tr.TimeToDeliver(1); ok {
+		t.Error("TimeToDeliver on empty trace reported success")
+	}
+	if _, ok := tr.TimeToCwnd(1); ok {
+		t.Error("TimeToCwnd on empty trace reported success")
+	}
+}
+
+func TestAtExactBoundary(t *testing.T) {
+	tr := &FlowTrace{Samples: []Sample{
+		{T: 10 * time.Millisecond, CwndBytes: 100, Delivered: 1000},
+		{T: 20 * time.Millisecond, CwndBytes: 200, Delivered: 2000},
+		{T: 30 * time.Millisecond, CwndBytes: 300, Delivered: 3000},
+	}}
+	// t exactly on a sample returns that sample, not its predecessor.
+	if s := tr.At(20 * time.Millisecond); s.CwndBytes != 200 {
+		t.Errorf("At(boundary) = %+v, want the t=20ms sample", s)
+	}
+	// t before the first sample has nothing to report.
+	if s := tr.At(5 * time.Millisecond); s != (Sample{}) {
+		t.Errorf("At(before first) = %+v, want zero Sample", s)
+	}
+	// t after the last clamps to the last.
+	if s := tr.At(time.Hour); s.CwndBytes != 300 {
+		t.Errorf("At(after last) = %+v, want the final sample", s)
+	}
+	// Thresholds met exactly count as reached; unreachable ones do not.
+	if tt, ok := tr.TimeToDeliver(2000); !ok || tt != 20*time.Millisecond {
+		t.Errorf("TimeToDeliver(exact) = %v/%v", tt, ok)
+	}
+	if _, ok := tr.TimeToDeliver(3001); ok {
+		t.Error("TimeToDeliver beyond final volume reported success")
+	}
+	if ct, ok := tr.TimeToCwnd(300); !ok || ct != 30*time.Millisecond {
+		t.Errorf("TimeToCwnd(exact) = %v/%v", ct, ok)
+	}
+	if _, ok := tr.TimeToCwnd(301); ok {
+		t.Error("TimeToCwnd beyond max cwnd reported success")
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	tr := runTracedFlow(t, 10*time.Millisecond)
 	var b strings.Builder

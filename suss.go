@@ -2,12 +2,14 @@ package suss
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"suss/internal/core"
 	"suss/internal/experiments"
 	"suss/internal/netem"
 	"suss/internal/netsim"
+	"suss/internal/obs"
 	"suss/internal/scenarios"
 	"suss/internal/tcp"
 	"suss/internal/trace"
@@ -142,26 +144,69 @@ type TracePoint struct {
 	Delivered int64
 }
 
+// FlightRecorder exposes what an observed run recorded: the
+// structured per-flow event log (ring-buffered; oldest events are
+// overwritten once the buffer fills) and the per-flow / per-link
+// counter registry. Exports are read-only views; the recorder is
+// detached from the simulation by the time callers see it.
+type FlightRecorder struct {
+	reg *obs.Registry
+}
+
+// WriteEventsJSONL writes the retained events as JSON Lines.
+func (f *FlightRecorder) WriteEventsJSONL(w io.Writer) error {
+	return obs.WriteEventsJSONL(w, f.reg.Events())
+}
+
+// WriteEventsCSV writes the retained events as CSV.
+func (f *FlightRecorder) WriteEventsCSV(w io.Writer) error {
+	return obs.WriteEventsCSV(w, f.reg.Events())
+}
+
+// WriteTimeline writes a human-readable per-event narrative.
+func (f *FlightRecorder) WriteTimeline(w io.Writer) error {
+	return obs.WriteTimeline(w, f.reg.Events())
+}
+
+// WriteCounters dumps every flow and link counter block.
+func (f *FlightRecorder) WriteCounters(w io.Writer) error {
+	return obs.WriteCounters(w, f.reg)
+}
+
 // Run transfers size bytes over the configured path with the given
 // algorithm and returns the outcome.
 func Run(cfg PathConfig, algo Algorithm, size int64) (Result, error) {
-	res, _, err := run(cfg, algo, size, 0)
+	res, _, _, err := run(cfg, algo, size, 0, false)
 	return res, err
 }
 
 // RunTrace is Run plus the cwnd/RTT/delivered time series, sampled at
 // most once per the given interval (0 = every ACK).
 func RunTrace(cfg PathConfig, algo Algorithm, size int64, every time.Duration) (Result, []TracePoint, error) {
-	return run(cfg, algo, size, every)
+	res, pts, _, err := run(cfg, algo, size, every, false)
+	return res, pts, err
 }
 
-func run(cfg PathConfig, algo Algorithm, size int64, every time.Duration) (Result, []TracePoint, error) {
+// RunObserved is Run with a flight recorder attached to the sender,
+// receiver, congestion controller and every forward link; the
+// returned recorder holds the run's event log and counters.
+func RunObserved(cfg PathConfig, algo Algorithm, size int64) (Result, *FlightRecorder, error) {
+	res, _, fr, err := run(cfg, algo, size, 0, true)
+	return res, fr, err
+}
+
+// RunTraceObserved combines RunTrace and RunObserved in one simulation.
+func RunTraceObserved(cfg PathConfig, algo Algorithm, size int64, every time.Duration) (Result, []TracePoint, *FlightRecorder, error) {
+	return run(cfg, algo, size, every, true)
+}
+
+func run(cfg PathConfig, algo Algorithm, size int64, every time.Duration, observe bool) (Result, []TracePoint, *FlightRecorder, error) {
 	if size <= 0 {
-		return Result{}, nil, fmt.Errorf("suss: size must be positive, got %d", size)
+		return Result{}, nil, nil, fmt.Errorf("suss: size must be positive, got %d", size)
 	}
 	sc, err := cfg.scenario()
 	if err != nil {
-		return Result{}, nil, err
+		return Result{}, nil, nil, err
 	}
 	sim := netsim.NewSimulator()
 	p, _ := sc.Build(sim)
@@ -173,11 +218,27 @@ func run(cfg PathConfig, algo Algorithm, size int64, every time.Duration) (Resul
 	} else {
 		f.Sender.SetController(experiments.NewController(algo.algo(), f.Sender))
 	}
+	var rec *FlightRecorder
+	if observe {
+		reg := obs.NewRegistry(0)
+		fr := reg.Flow(1)
+		f.Sender.AttachRecorder(fr)
+		f.Receiver.AttachRecorder(fr)
+		if a, ok := f.Sender.Controller().(interface {
+			AttachRecorder(*obs.FlowRecorder)
+		}); ok {
+			a.AttachRecorder(fr)
+		}
+		for i, l := range p.Fwd {
+			l.AttachRecorder(reg.Link(fmt.Sprintf("fwd%d/%s", i, l.Name())))
+		}
+		rec = &FlightRecorder{reg: reg}
+	}
 	tr := trace.Attach(f.Sender, algo.String(), every)
 	f.StartAt(sim, 0)
 	sim.Run(30 * time.Minute)
 	if !f.Done() {
-		return Result{}, nil, fmt.Errorf("suss: transfer did not complete within the simulation horizon (delivered %d of %d bytes)",
+		return Result{}, nil, rec, fmt.Errorf("suss: transfer did not complete within the simulation horizon (delivered %d of %d bytes)",
 			f.Sender.Delivered(), size)
 	}
 
@@ -199,7 +260,7 @@ func run(cfg PathConfig, algo Algorithm, size int64, every time.Duration) (Resul
 	for i, s := range tr.Samples {
 		pts[i] = TracePoint{T: s.T, CwndBytes: s.CwndBytes, SRTT: s.SRTT, Delivered: s.Delivered}
 	}
-	return res, pts, nil
+	return res, pts, rec, nil
 }
 
 // InternetScenario names one cell of the paper's 7-server × 4-link
