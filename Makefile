@@ -7,7 +7,7 @@ BENCH_COUNT ?= 5
 BENCH_BASELINE ?= bench.baseline.txt
 BENCH_HEAD ?= bench.head.txt
 
-.PHONY: check build vet test testdebug race allocgate bench bench-sched bench-baseline bench-compare clean
+.PHONY: check build vet test testdebug race allocgate chaos bench bench-sched bench-baseline bench-compare clean
 
 # The full gate CI runs: build + vet + tests (including the
 # AllocsPerRun zero-allocation gates in internal/netsim) + the
@@ -43,6 +43,15 @@ race:
 # (internal/netsim).
 allocgate:
 	$(GO) test -run 'Alloc' -v ./internal/obs ./internal/netsim
+
+# Chaos matrix under -race: every impairment × CC algo × seed must
+# complete (or error cleanly) with a balanced loss ledger, and a wedged
+# simulation is killed by the per-job wall-clock watchdog instead of
+# hanging the suite. Set CHAOS_DUMP=<file> to capture the matrix
+# summary (with flight-recorder stall tails) on failure — CI uploads it
+# as an artifact.
+chaos:
+	$(GO) test -race -timeout 300s -v ./internal/chaos
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

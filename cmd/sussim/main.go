@@ -8,9 +8,11 @@
 //	sussim -scenario google-tokyo/4g -algo cubic -size 2MB
 //	sussim -algo suss -size 8MB -trace trace.csv
 //	sussim -algo suss -size 2MB -events events.jsonl -counters
+//	sussim -chaos
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"suss"
+	"suss/internal/chaos"
 )
 
 func main() {
@@ -36,7 +39,17 @@ func main() {
 	tracePath := flag.String("trace", "", "write cwnd/RTT/delivered CSV to this file")
 	eventsPath := flag.String("events", "", "record the flight-recorder event log to this file (.jsonl | .csv | anything else = timeline text; \"-\" = timeline to stdout)")
 	counters := flag.Bool("counters", false, "dump the flight-recorder flow/link counters after the run")
+	chaosRun := flag.Bool("chaos", false, "run the chaos impairment matrix (catalog × algos × seeds) and exit non-zero on any failure")
 	flag.Parse()
+
+	if *chaosRun {
+		m := chaos.Run(context.Background(), chaos.DefaultOptions())
+		fmt.Print(m.Render())
+		if len(m.Failures()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, s := range suss.Scenarios() {

@@ -112,6 +112,10 @@ type BBR struct {
 
 	boost *sussBoost // nil unless Options.SUSSStartup
 
+	// undo snapshots the model state at the last OnRTO so a spurious
+	// timeout can be reverted (cc.Undoer).
+	undo bbrUndo
+
 	// rec, when non-nil, receives STARTUP round and boost events.
 	rec *obs.FlowRecorder
 }
@@ -367,7 +371,19 @@ func (b *BBR) enterProbeBW(now time.Duration) {
 
 // OnLoss implements cc.Controller. BBRv1 deliberately does not react
 // to individual losses; BBRv2-lite lowers its inflight ceiling.
+// bbrUndo is the pre-RTO model snapshot for cc.Undoer. BBR's cwnd is
+// derived from the BtlBw/RTprop model each ACK, so undoing means
+// restoring the model inputs an RTO resets, not a window value.
+type bbrUndo struct {
+	valid        bool
+	fullBW       float64
+	fullBWRounds int
+	filledPipe   bool
+	inflightHi   float64
+}
+
 func (b *BBR) OnLoss(ev cc.LossEvent) {
+	b.undo.valid = false // real congestion: the pre-RTO state is stale
 	b.lossThisRound = true
 	if b.boost != nil {
 		b.boost.disable()
@@ -393,6 +409,13 @@ func (b *BBR) OnLoss(ev cc.LossEvent) {
 // during STARTUP is a definitive full-pipe signal — the 2.885× gain
 // has nothing left to discover.
 func (b *BBR) OnRTO(now time.Duration) {
+	b.undo = bbrUndo{
+		valid:        true,
+		fullBW:       b.fullBW,
+		fullBWRounds: b.fullBWRounds,
+		filledPipe:   b.filledPipe,
+		inflightHi:   b.inflightHi,
+	}
 	if b.st == stateStartup {
 		b.filledPipe = true
 	}
@@ -402,6 +425,22 @@ func (b *BBR) OnRTO(now time.Duration) {
 	if b.opt.V2 {
 		b.inflightHi = 0
 	}
+}
+
+// UndoRTO implements cc.Undoer: restore the model inputs the most
+// recent OnRTO reset. No-op once the undo window closed (a real
+// OnLoss since, or already undone). The bandwidth filter itself was
+// never cleared, so restoring the full-pipe tracker is enough.
+func (b *BBR) UndoRTO(now time.Duration) {
+	if !b.undo.valid {
+		return
+	}
+	u := b.undo
+	b.undo.valid = false
+	b.fullBW = u.fullBW
+	b.fullBWRounds = u.fullBWRounds
+	b.filledPipe = u.filledPipe
+	b.inflightHi = u.inflightHi
 }
 
 // relaxCeiling additively probes the v2 inflight ceiling upward after

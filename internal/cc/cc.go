@@ -100,6 +100,16 @@ type Controller interface {
 	InSlowStart() bool
 }
 
+// Undoer is implemented by controllers that can revert the state
+// collapse of their most recent OnRTO when the transport proves the
+// timeout spurious (F-RTO / Eifel detection). The undo window closes
+// at the next OnLoss or OnRTO: controllers only keep one snapshot, and
+// a real congestion signal after the timeout makes the pre-RTO state
+// stale. UndoRTO after the window closes is a no-op.
+type Undoer interface {
+	UndoRTO(now time.Duration)
+}
+
 // MinRTTTracker maintains the connection-lifetime minimum RTT, which
 // HyStart, SUSS and BBR's ProbeRTT all key off.
 type MinRTTTracker struct {

@@ -566,6 +566,14 @@ func (s *Suss) OnRTO(now time.Duration) {
 	s.cubic.OnRTO(now)
 }
 
+// UndoRTO implements cc.Undoer by delegating to CUBIC's window undo.
+// SUSS itself stays disabled: the boost machinery is a slow-start
+// mechanism and a timeout — even a spurious one — means the path is
+// too unstable to resume granting red windows.
+func (s *Suss) UndoRTO(now time.Duration) {
+	s.cubic.UndoRTO(now)
+}
+
 // String implements fmt.Stringer for debugging.
 func (s *Suss) String() string {
 	return fmt.Sprintf("suss{round:%d G:%d cwnd:%dB pacing:%v}", s.round, s.lastG, s.CwndBytes(), s.pacingActive)

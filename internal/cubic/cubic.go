@@ -84,6 +84,10 @@ type Cubic struct {
 	// HyStart++ state (nil unless Options.HyStartPP).
 	hspp *hystartPP
 
+	// undo snapshots the window state at the last OnRTO so a spurious
+	// timeout can be reverted (cc.Undoer).
+	undo cubicUndo
+
 	// rec, when non-nil, receives HyStart exit events.
 	rec *obs.FlowRecorder
 }
@@ -325,9 +329,20 @@ func (c *Cubic) congestionAvoidance(now time.Duration, ackedSegs float64) {
 	c.cwnd += incPerAck * ackedSegs
 }
 
+// cubicUndo is the pre-RTO window snapshot for cc.Undoer.
+type cubicUndo struct {
+	valid          bool
+	cwnd, ssthresh float64
+	wMax, k        float64
+	epochStart     time.Duration
+	hasEpoch       bool
+	ackCount, wEst float64
+}
+
 // OnLoss implements cc.Controller: multiplicative decrease and a new
 // cubic epoch.
 func (c *Cubic) OnLoss(ev cc.LossEvent) {
+	c.undo.valid = false // real congestion: the pre-RTO state is stale
 	c.hasEpoch = false
 	if c.opt.FastConvergence && c.cwnd < c.wMax {
 		c.wMax = c.cwnd * (2 - c.opt.Beta) / 2
@@ -344,8 +359,38 @@ func (c *Cubic) OnLoss(ev cc.LossEvent) {
 // OnRTO implements cc.Controller: collapse to one segment and slow
 // start toward half the pre-timeout flight.
 func (c *Cubic) OnRTO(now time.Duration) {
+	c.undo = cubicUndo{
+		valid:      true,
+		cwnd:       c.cwnd,
+		ssthresh:   c.ssthresh,
+		wMax:       c.wMax,
+		k:          c.k,
+		epochStart: c.epochStart,
+		hasEpoch:   c.hasEpoch,
+		ackCount:   c.ackCount,
+		wEst:       c.wEst,
+	}
 	c.hasEpoch = false
 	c.wMax = c.cwnd
 	c.ssthresh = math.Max(c.cwnd*c.opt.Beta, 2)
 	c.cwnd = 1
+}
+
+// UndoRTO implements cc.Undoer: restore the window state snapshotted
+// by the most recent OnRTO. No-op once the undo window closed (a real
+// OnLoss since, or already undone).
+func (c *Cubic) UndoRTO(now time.Duration) {
+	if !c.undo.valid {
+		return
+	}
+	u := c.undo
+	c.undo.valid = false
+	c.cwnd = u.cwnd
+	c.ssthresh = u.ssthresh
+	c.wMax = u.wMax
+	c.k = u.k
+	c.epochStart = u.epochStart
+	c.hasEpoch = u.hasEpoch
+	c.ackCount = u.ackCount
+	c.wEst = u.wEst
 }

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"time"
+
+	"suss/internal/obs"
+)
+
+// ImpairVerdict is one stage's judgement on a single packet about to
+// propagate. Verdicts from consecutive stages are combined by the
+// pipeline (see Impairments.judge).
+type ImpairVerdict struct {
+	// Drop discards the packet with the given Cause (an erasure-family
+	// obs.DropCause: DropErasure, DropCorrupt or DropOutage). A drop
+	// short-circuits the pipeline: later stages never see the packet.
+	Drop  bool
+	Cause obs.DropCause
+
+	// ExtraDelay adds to the packet's propagation delay. Negative
+	// values are allowed (RTT steps back down); the link clamps the
+	// total delay at zero.
+	ExtraDelay time.Duration
+
+	// OutOfBand exempts this delivery from the link's FIFO arrival
+	// clamp and keeps it from advancing the clamp watermark —
+	// reordering stages set it so a delayed packet genuinely arrives
+	// behind its successors.
+	OutOfBand bool
+
+	// Duplicate injects a second copy of the packet, propagated
+	// out-of-band after ExtraDelay+DupExtraDelay.
+	Duplicate     bool
+	DupExtraDelay time.Duration
+}
+
+// ImpairStage judges packets leaving a link's serializer, before
+// propagation. Implementations live in internal/netem; they must be
+// deterministic given their own seeded RNG and the packet sequence.
+type ImpairStage interface {
+	// Name identifies the stage in diagnostics.
+	Name() string
+	// Judge returns the stage's verdict for pkt at virtual time now.
+	// The packet is read-only: stages must not mutate or retain it.
+	Judge(now time.Duration, pkt *Packet) ImpairVerdict
+}
+
+// Impairments is an ordered pipeline of stages attached to a link.
+// Stages run in Add order; the combined verdict is:
+//
+//   - the first Drop wins and stops the pipeline (a dropped packet
+//     cannot be further delayed or duplicated);
+//   - ExtraDelay accumulates across stages;
+//   - OutOfBand and Duplicate are OR-ed;
+//   - the first duplicating stage's DupExtraDelay is kept.
+type Impairments struct {
+	stages []ImpairStage
+}
+
+// NewImpairments builds an empty pipeline.
+func NewImpairments(stages ...ImpairStage) *Impairments {
+	return &Impairments{stages: stages}
+}
+
+// Add appends a stage and returns the pipeline for chaining.
+func (im *Impairments) Add(s ImpairStage) *Impairments {
+	im.stages = append(im.stages, s)
+	return im
+}
+
+// Stages returns the pipeline's stages in execution order.
+func (im *Impairments) Stages() []ImpairStage { return im.stages }
+
+func (im *Impairments) judge(now time.Duration, pkt *Packet) ImpairVerdict {
+	var v ImpairVerdict
+	for _, s := range im.stages {
+		sv := s.Judge(now, pkt)
+		if sv.Drop {
+			sv.ExtraDelay = 0
+			sv.Duplicate = false
+			return sv
+		}
+		v.ExtraDelay += sv.ExtraDelay
+		v.OutOfBand = v.OutOfBand || sv.OutOfBand
+		if sv.Duplicate && !v.Duplicate {
+			v.Duplicate = true
+			v.DupExtraDelay = sv.DupExtraDelay
+		}
+	}
+	return v
+}

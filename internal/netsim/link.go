@@ -50,14 +50,17 @@ type LinkConfig struct {
 
 // LinkStats counts what happened on a link.
 type LinkStats struct {
-	EnqueuedPackets  int
-	EnqueuedBytes    int64
-	DroppedPackets   int // tail drops (congestion)
-	DroppedBytes     int64
-	ErasedPackets    int // random (wire) losses
-	DeliveredPackets int
-	DeliveredBytes   int64
-	MaxQueueBytes    int
+	EnqueuedPackets   int
+	EnqueuedBytes     int64
+	DroppedPackets    int // tail drops (congestion)
+	DroppedBytes      int64
+	ErasedPackets     int // random (wire) losses
+	CorruptedPackets  int // impairment drops: corruption
+	OutagePackets     int // impairment drops: link outage/flap
+	DuplicatedPackets int // extra copies injected by impairment
+	DeliveredPackets  int
+	DeliveredBytes    int64
+	MaxQueueBytes     int
 }
 
 // Link is a unidirectional FIFO pipe: a drop-tail queue, a serializer
@@ -80,6 +83,11 @@ type Link struct {
 	// link's queue counters and drop events.
 	rec *obs.LinkRecorder
 
+	// impair, when non-nil, is the impairment pipeline judged on every
+	// packet after the wire-loss check. Unattached links pay a single
+	// nil check (pinned by an equality test).
+	impair *Impairments
+
 	// OnDrop, when non-nil, is invoked for every packet lost on this
 	// link (tail drop or random loss).
 	OnDrop func(pkt *Packet, congestion bool)
@@ -88,6 +96,13 @@ type Link struct {
 // AttachRecorder installs a flight recorder on this link. Pass nil to
 // detach.
 func (l *Link) AttachRecorder(r *obs.LinkRecorder) { l.rec = r }
+
+// AttachImpairments installs an impairment pipeline on this link.
+// Pass nil to detach.
+func (l *Link) AttachImpairments(im *Impairments) { l.impair = im }
+
+// Impairments returns the attached pipeline, or nil.
+func (l *Link) Impairments() *Impairments { return l.impair }
 
 // NewLink creates a link feeding dst. The configuration is validated:
 // a non-positive fixed rate panics, since it would stall the queue
@@ -174,7 +189,7 @@ func (l *Link) Enqueue(pkt *Packet) {
 // capturing closure, so the serialize→propagate→deliver pipeline
 // allocates nothing.
 func linkFinishTransmitEv(ctx, arg any) { ctx.(*Link).finishTransmit(arg.(*Packet)) }
-func linkDeliverEv(ctx, arg any)       { ctx.(*Link).deliver(arg.(*Packet)) }
+func linkDeliverEv(ctx, arg any)        { ctx.(*Link).deliver(arg.(*Packet)) }
 
 func (l *Link) startTransmit() {
 	pkt, dropped := l.qdisc.Dequeue(l.sim.Now())
@@ -209,29 +224,89 @@ func (l *Link) finishTransmit(pkt *Packet) {
 	l.startTransmit()
 
 	if l.cfg.Loss != nil && l.cfg.Loss(pkt) {
-		l.stats.ErasedPackets++
-		if r := l.rec; r != nil {
-			r.Dropped(l.sim.Now(), obs.DropErasure, int32(pkt.Flow), pkt.Seq, pkt.Size, pkt.Kind == Data)
-		}
-		if l.OnDrop != nil {
-			l.OnDrop(pkt, false)
-		}
-		pkt.Release()
+		l.dropWire(pkt, obs.DropErasure)
 		return
 	}
 
-	delay := l.cfg.Delay
+	if l.impair != nil {
+		l.impairedPropagate(pkt)
+		return
+	}
+	l.propagate(pkt, 0, false)
+}
+
+// propagate schedules a packet's delivery after the configured
+// propagation delay, jitter, and extra impairment delay. An outOfBand
+// delivery skips the FIFO arrival clamp and does not advance the clamp
+// watermark, so genuinely reordered copies can land behind successors
+// without delaying them.
+func (l *Link) propagate(pkt *Packet, extra time.Duration, outOfBand bool) {
+	delay := l.cfg.Delay + extra
 	if l.cfg.Jitter != nil {
-		if extra := l.cfg.Jitter(l.sim.Now(), pkt); extra > 0 {
-			delay += extra
+		if j := l.cfg.Jitter(l.sim.Now(), pkt); j > 0 {
+			delay += j
 		}
 	}
-	arrival := l.sim.Now() + delay
-	if !l.cfg.AllowReorder && arrival < l.lastArrival {
-		arrival = l.lastArrival
+	if delay < 0 {
+		// A negative RTT step can outweigh the base delay; arrivals
+		// never precede departure.
+		delay = 0
 	}
-	l.lastArrival = arrival
+	arrival := l.sim.Now() + delay
+	if !outOfBand {
+		if !l.cfg.AllowReorder && arrival < l.lastArrival {
+			arrival = l.lastArrival
+		}
+		l.lastArrival = arrival
+	}
 	l.sim.ScheduleEventAt(arrival, linkDeliverEv, l, pkt)
+}
+
+// impairedPropagate runs the impairment pipeline on a packet that
+// survived the wire-loss check and acts on the combined verdict.
+func (l *Link) impairedPropagate(pkt *Packet) {
+	v := l.impair.judge(l.sim.Now(), pkt)
+	if v.Drop {
+		l.dropWire(pkt, v.Cause)
+		return
+	}
+	var dup *Packet
+	if v.Duplicate {
+		// Copy before handing the original on: once propagated the
+		// original may be delivered and released within this event.
+		dup = l.sim.Pool().Get()
+		dup.CopyFrom(pkt)
+		l.stats.DuplicatedPackets++
+		if r := l.rec; r != nil {
+			r.Duplicated(l.sim.Now(), int32(pkt.Flow), pkt.Seq, pkt.Size, pkt.Kind == Data)
+		}
+	}
+	l.propagate(pkt, v.ExtraDelay, v.OutOfBand)
+	if dup != nil {
+		// Duplicates are always out-of-band: the copy must not drag
+		// the FIFO watermark forward for later packets.
+		l.propagate(dup, v.ExtraDelay+v.DupExtraDelay, true)
+	}
+}
+
+// dropWire loses a packet to a non-congestion cause (wire erasure or
+// an impairment-stage drop), updating stats by cause and releasing it.
+func (l *Link) dropWire(pkt *Packet, cause obs.DropCause) {
+	switch cause {
+	case obs.DropCorrupt:
+		l.stats.CorruptedPackets++
+	case obs.DropOutage:
+		l.stats.OutagePackets++
+	default:
+		l.stats.ErasedPackets++
+	}
+	if r := l.rec; r != nil {
+		r.Dropped(l.sim.Now(), cause, int32(pkt.Flow), pkt.Seq, pkt.Size, pkt.Kind == Data)
+	}
+	if l.OnDrop != nil {
+		l.OnDrop(pkt, false)
+	}
+	pkt.Release()
 }
 
 // deliver hands a fully-propagated packet to the destination node,

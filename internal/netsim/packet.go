@@ -88,6 +88,16 @@ type Packet struct {
 	freed bool
 }
 
+// CopyFrom copies every wire field of src into p while preserving p's
+// own pool identity, so a pooled packet can become a byte-for-byte
+// duplicate of another without corrupting either free list. Used by
+// the duplication impairment stage.
+func (p *Packet) CopyFrom(src *Packet) {
+	pool, freed := p.pool, p.freed
+	*p = *src
+	p.pool, p.freed = pool, freed
+}
+
 // SackRanges returns the valid selective-ack ranges as a slice view
 // into the packet's inline array (no allocation). The view is only
 // valid while the caller owns the packet.

@@ -67,6 +67,13 @@ func causeField(ev Event) string {
 	}
 }
 
+// FormatEvent renders one event as the same single line the timeline
+// view uses — for callers (the runner watchdog) that dump a short
+// event tail into an error message rather than streaming a whole ring.
+func FormatEvent(ev Event) string {
+	return fmt.Sprintf("%12s flow=%-2d %-14s %s", fmtT(ev.T), ev.Flow, ev.Kind, describe(ev))
+}
+
 // WriteTimeline renders the retained events as a human-readable
 // per-line narrative, oldest first — the "what did this flow actually
 // do" view for debugging a single download.
@@ -129,6 +136,16 @@ func describe(ev Event) string {
 		return fmt.Sprintf("reason=%s cwnd=%d", HyStartReason(ev.Aux), ev.Aux2)
 	case EvQdiscDrop:
 		return fmt.Sprintf("seq=%d size=%d cause=%s", ev.Seq, ev.Aux2, DropCause(ev.Aux))
+	case EvLinkDup:
+		return fmt.Sprintf("seq=%d size=%d", ev.Seq, ev.Aux2)
+	case EvRTOUndone:
+		return fmt.Sprintf("una=%d spurious_rtos=%d cwnd=%d", ev.Seq, ev.Aux, ev.Aux2)
+	case EvSackReneged:
+		return fmt.Sprintf("cum=%d discarded_bytes=%d", ev.Seq, ev.Len)
+	case EvRenegDetected:
+		return fmt.Sprintf("una=%d highest_sacked=%d", ev.Seq, ev.Aux)
+	case EvFlowAbort:
+		return fmt.Sprintf("una=%d rto_count=%d", ev.Seq, ev.Aux)
 	default:
 		return fmt.Sprintf("seq=%d len=%d aux=%d aux2=%d", ev.Seq, ev.Len, ev.Aux, ev.Aux2)
 	}
@@ -152,16 +169,22 @@ func WriteCounters(w io.Writer, g *Registry) error {
 			{"retrans_fast", c.RetransFast},
 			{"retrans_rto", c.RetransRTO},
 			{"retrans_tlp", c.RetransTLP},
+			{"retrans_reneg", c.RetransReneg},
 			{"acks_seen", c.AcksSeen},
 			{"sack_ranges", c.SackRanges},
 			{"rto_fires", c.RTOFires},
 			{"tlp_fires", c.TLPFires},
 			{"loss_detected", c.LossDetected},
 			{"spurious_retrans", c.SpuriousRetrans},
+			{"spurious_rto_undos", c.SpuriousRTOUndos},
+			{"sack_renegings", c.SackRenegings},
+			{"flow_aborts", c.FlowAborts},
 			{"cwnd_changes", c.CwndChanges},
 			{"rcv_segs", c.RcvSegs},
 			{"rcv_dup_segs", c.RcvDupSegs},
 			{"rcv_dup_bytes", c.RcvDupBytes},
+			{"rcv_renege_events", c.RcvRenegeEvents},
+			{"rcv_reneged_bytes", c.RcvRenegedBytes},
 			{"suss_rounds", c.SussRounds},
 			{"suss_boosts", c.SussBoosts},
 			{"suss_exits", c.SussExits},
@@ -190,6 +213,13 @@ func WriteCounters(w io.Writer, g *Registry) error {
 			{"aqm_drop_bytes", c.AQMDropBytes},
 			{"erased_pkts", c.ErasedPkts},
 			{"erased_bytes", c.ErasedBytes},
+			{"corrupt_pkts", c.CorruptPkts},
+			{"corrupt_bytes", c.CorruptBytes},
+			{"outage_pkts", c.OutagePkts},
+			{"outage_bytes", c.OutageBytes},
+			{"dup_pkts", c.DupPkts},
+			{"dup_bytes", c.DupBytes},
+			{"dup_data_pkts", c.DupDataPkts},
 			{"data_drop_pkts", c.DataDropPkts},
 			{"depth_hiwater", c.DepthHighWaterBytes},
 		}

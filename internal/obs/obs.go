@@ -71,6 +71,25 @@ const (
 	// EvQdiscDrop is a packet lost at a link. Aux carries the
 	// DropCause, Aux2 the wire size; Seq is the packet's sequence.
 	EvQdiscDrop
+	// EvLinkDup is a duplicate packet injected by an impairment stage.
+	// Seq is the duplicated packet's sequence, Aux2 its wire size.
+	EvLinkDup
+	// EvRTOUndone is an Eifel/F-RTO undo: the last timeout was proven
+	// spurious and its congestion response reverted. Seq is sndUna, Aux
+	// the running spurious-RTO count, Aux2 the restored cwnd in bytes.
+	EvRTOUndone
+	// EvSackReneged is the receiver discarding out-of-order data it had
+	// SACKed (RFC 2018 permits this). Seq is the cumulative ack point,
+	// Len the bytes thrown away.
+	EvSackReneged
+	// EvRenegDetected is the sender noticing the reneging (cumulative
+	// ACK stalled on a SACKed segment) and discarding its scoreboard's
+	// SACK state. Seq is sndUna, Aux the highest sequence that had been
+	// SACKed.
+	EvRenegDetected
+	// EvFlowAbort is the sender giving the flow up with an error (the
+	// consecutive-RTO cap). Seq is sndUna, Aux the total RTO count.
+	EvFlowAbort
 
 	numEventKinds
 )
@@ -90,6 +109,11 @@ var eventKindNames = [numEventKinds]string{
 	EvSussExit:       "SussExit",
 	EvHyStartExit:    "HyStartExit",
 	EvQdiscDrop:      "QdiscDrop",
+	EvLinkDup:        "LinkDup",
+	EvRTOUndone:      "RTOUndone",
+	EvSackReneged:    "SackReneged",
+	EvRenegDetected:  "RenegDetected",
+	EvFlowAbort:      "FlowAbort",
 }
 
 // String implements fmt.Stringer.
@@ -111,6 +135,10 @@ const (
 	CauseRTO
 	// CauseTLP is a tail loss probe.
 	CauseTLP
+	// CauseReneg is the RFC 2018 repair after SACK reneging: the
+	// receiver discarded data it had selectively acknowledged, so the
+	// sender must retransmit it despite the earlier SACK.
+	CauseReneg
 )
 
 // String implements fmt.Stringer.
@@ -122,6 +150,8 @@ func (c RetransCause) String() string {
 		return "rto"
 	case CauseTLP:
 		return "tlp"
+	case CauseReneg:
+		return "reneg"
 	default:
 		return "unknown"
 	}
@@ -138,6 +168,13 @@ const (
 	DropAQM
 	// DropErasure is random wire loss, not congestion.
 	DropErasure
+	// DropCorrupt is a packet damaged in transit and discarded by the
+	// next hop's checksum — modeled as an erasure with its own cause so
+	// ledgers can tell corruption from plain wire loss.
+	DropCorrupt
+	// DropOutage is a packet lost to a link being down (handover,
+	// flap, scheduled maintenance window).
+	DropOutage
 )
 
 // String implements fmt.Stringer.
@@ -149,6 +186,10 @@ func (c DropCause) String() string {
 		return "aqm"
 	case DropErasure:
 		return "erasure"
+	case DropCorrupt:
+		return "corrupt"
+	case DropOutage:
+		return "outage"
 	default:
 		return "unknown"
 	}
@@ -289,6 +330,7 @@ type FlowCounters struct {
 	RetransFast  int64 // queued by fast loss detection
 	RetransRTO   int64 // queued by the post-RTO go-back-N rebuild
 	RetransTLP   int64 // tail loss probes
+	RetransReneg int64 // queued by SACK-reneging repair
 	AcksSeen     int64 // ACKs processed
 	SackRanges   int64 // SACK ranges processed off the wire
 	RTOFires     int64
@@ -300,12 +342,25 @@ type FlowCounters struct {
 	// the retransmit queue, so the retransmission was (or would have
 	// been) unnecessary.
 	SpuriousRetrans int64
-	CwndChanges     int64
+	// SpuriousRTOUndos counts retransmission timeouts later proven
+	// spurious by Eifel/F-RTO detection and undone.
+	SpuriousRTOUndos int64
+	// SackRenegings counts sender-side reneging detections (scoreboard
+	// SACK state discarded).
+	SackRenegings int64
+	// FlowAborts counts terminal give-ups (consecutive-RTO cap).
+	FlowAborts  int64
+	CwndChanges int64
 
 	// Receiver side.
 	RcvSegs     int64 // data segments accepted
 	RcvDupSegs  int64 // arrivals contributing no new bytes (dup payload)
 	RcvDupBytes int64 // payload bytes already held when they re-arrived
+	// RcvRenegeEvents / RcvRenegedBytes are the receiver's ground truth
+	// of its own misbehaviour: out-of-order data discarded after being
+	// SACKed (chaos receiver mode only).
+	RcvRenegeEvents int64
+	RcvRenegedBytes int64
 
 	// Controller side.
 	SussRounds   int64
@@ -324,6 +379,16 @@ type LinkCounters struct {
 	AQMDropBytes  int64
 	ErasedPkts    int64
 	ErasedBytes   int64
+	CorruptPkts   int64
+	CorruptBytes  int64
+	OutagePkts    int64
+	OutageBytes   int64
+	// DupPkts / DupBytes count duplicate packets injected by an
+	// impairment stage; DupDataPkts the data-kind subset (the only ones
+	// a receiver can observe as duplicate payload).
+	DupPkts     int64
+	DupBytes    int64
+	DupDataPkts int64
 	// DataDropPkts counts congestion drops (tail + AQM) of data-kind
 	// packets only — the quantity a sender's loss detection can ever
 	// observe, and the left side of the loss ledger.
@@ -387,11 +452,34 @@ func (l *LinkRecorder) Dropped(t time.Duration, cause DropCause, flow int32, seq
 	case DropErasure:
 		l.C.ErasedPkts++
 		l.C.ErasedBytes += int64(size)
+	case DropCorrupt:
+		l.C.CorruptPkts++
+		l.C.CorruptBytes += int64(size)
+	case DropOutage:
+		l.C.OutagePkts++
+		l.C.OutageBytes += int64(size)
 	}
-	if data && cause != DropErasure {
+	// Only congestion drops are visible to a sender's loss-vs-queue
+	// accounting; erasure-family causes (wire loss, corruption, outage)
+	// are path loss, tallied on the ledger's PathErasures side.
+	if data && (cause == DropTail || cause == DropAQM) {
 		l.C.DataDropPkts++
 	}
 	l.ring.Record(Event{T: t, Kind: EvQdiscDrop, Flow: flow, Seq: seq, Aux: int64(cause), Aux2: int64(size)})
+}
+
+// Duplicated notes a duplicate packet injected by an impairment stage
+// and records an EvLinkDup event.
+func (l *LinkRecorder) Duplicated(t time.Duration, flow int32, seq int64, size int, data bool) {
+	if l == nil {
+		return
+	}
+	l.C.DupPkts++
+	l.C.DupBytes += int64(size)
+	if data {
+		l.C.DupDataPkts++
+	}
+	l.ring.Record(Event{T: t, Kind: EvLinkDup, Flow: flow, Seq: seq, Aux2: int64(size)})
 }
 
 // Registry bundles one simulation's flight recorder: the shared event
@@ -471,34 +559,59 @@ type LossLedger struct {
 	RetransFast     int64
 	RetransRTO      int64
 	RetransTLP      int64
+	RetransReneg    int64
 	LossDetected    int64
 	SpuriousRetrans int64
 	RTOFires        int64
 	TLPFires        int64
+	// SpuriousRTOUndos / SackRenegings / FlowAborts fold the hardening
+	// paths into the ledger so sweeps can report them next to the loss
+	// columns.
+	SpuriousRTOUndos int64
+	SackRenegings    int64
+	FlowAborts       int64
+	// RcvDupSegs is the receiver's ground truth for duplicate payload:
+	// arrivals that contributed no new bytes. Bounded by retransmissions
+	// plus path-injected duplicates (identity 3).
+	RcvDupSegs int64
 	// PathDataDrops sums congestion drops of data packets over the
 	// links the ledger was built from (the flow's forward path).
 	PathDataDrops int64
 	// PathErasures sums random wire losses over the same links.
 	PathErasures int64
+	// PathCorrupt / PathOutage split out the impairment-stage drop
+	// causes (modelled as erasures with their own cause for accounting).
+	PathCorrupt int64
+	PathOutage  int64
+	// PathDuplicates counts data packets the path itself duplicated.
+	PathDuplicates int64
 }
 
 // MakeLedger assembles a ledger from one flow's counters and the
 // links of its forward path.
 func MakeLedger(f *FlowCounters, links ...*LinkCounters) LossLedger {
 	l := LossLedger{
-		SegsSent:        f.SegsSent,
-		SegsRetrans:     f.SegsRetrans,
-		RetransFast:     f.RetransFast,
-		RetransRTO:      f.RetransRTO,
-		RetransTLP:      f.RetransTLP,
-		LossDetected:    f.LossDetected,
-		SpuriousRetrans: f.SpuriousRetrans,
-		RTOFires:        f.RTOFires,
-		TLPFires:        f.TLPFires,
+		SegsSent:         f.SegsSent,
+		SegsRetrans:      f.SegsRetrans,
+		RetransFast:      f.RetransFast,
+		RetransRTO:       f.RetransRTO,
+		RetransTLP:       f.RetransTLP,
+		RetransReneg:     f.RetransReneg,
+		LossDetected:     f.LossDetected,
+		SpuriousRetrans:  f.SpuriousRetrans,
+		RTOFires:         f.RTOFires,
+		TLPFires:         f.TLPFires,
+		SpuriousRTOUndos: f.SpuriousRTOUndos,
+		SackRenegings:    f.SackRenegings,
+		FlowAborts:       f.FlowAborts,
+		RcvDupSegs:       f.RcvDupSegs,
 	}
 	for _, lc := range links {
 		l.PathDataDrops += lc.DataDropPkts
 		l.PathErasures += lc.ErasedPkts
+		l.PathCorrupt += lc.CorruptPkts
+		l.PathOutage += lc.OutagePkts
+		l.PathDuplicates += lc.DupDataPkts
 	}
 	return l
 }
@@ -510,12 +623,20 @@ func (l *LossLedger) Add(o LossLedger) {
 	l.RetransFast += o.RetransFast
 	l.RetransRTO += o.RetransRTO
 	l.RetransTLP += o.RetransTLP
+	l.RetransReneg += o.RetransReneg
 	l.LossDetected += o.LossDetected
 	l.SpuriousRetrans += o.SpuriousRetrans
 	l.RTOFires += o.RTOFires
 	l.TLPFires += o.TLPFires
+	l.SpuriousRTOUndos += o.SpuriousRTOUndos
+	l.SackRenegings += o.SackRenegings
+	l.FlowAborts += o.FlowAborts
+	l.RcvDupSegs += o.RcvDupSegs
 	l.PathDataDrops += o.PathDataDrops
 	l.PathErasures += o.PathErasures
+	l.PathCorrupt += o.PathCorrupt
+	l.PathOutage += o.PathOutage
+	l.PathDuplicates += o.PathDuplicates
 }
 
 // Check verifies the ledger identities that must hold for any
@@ -523,10 +644,15 @@ func (l *LossLedger) Add(o LossLedger) {
 // consistent):
 //
 //  1. Every retransmission has exactly one cause:
-//     SegsRetrans == RetransFast + RetransRTO + RetransTLP.
+//     SegsRetrans == RetransFast + RetransRTO + RetransTLP + RetransReneg.
 //  2. Fast retransmissions never exceed fast loss detections (a lost
 //     mark may be cancelled by a spurious ACK, never invented):
 //     RetransFast <= LossDetected.
+//  3. Duplicate payload at the receiver can only come from sender
+//     retransmissions or path-level duplication — fresh transmissions
+//     cover disjoint byte ranges, so they can never re-deliver bytes
+//     the receiver already holds:
+//     RcvDupSegs <= SegsRetrans + PathDuplicates.
 //
 // The stronger drop identity — PathDataDrops == LossDetected when the
 // path has no random loss and the flow saw no RTO or TLP — depends on
@@ -534,12 +660,16 @@ func (l *LossLedger) Add(o LossLedger) {
 // the integration test).
 func (l LossLedger) Check() []string {
 	var bad []string
-	if l.SegsRetrans != l.RetransFast+l.RetransRTO+l.RetransTLP {
+	if l.SegsRetrans != l.RetransFast+l.RetransRTO+l.RetransTLP+l.RetransReneg {
 		bad = append(bad, "retransmissions not partitioned by cause: "+
-			itoa(l.SegsRetrans)+" != "+itoa(l.RetransFast)+"+"+itoa(l.RetransRTO)+"+"+itoa(l.RetransTLP))
+			itoa(l.SegsRetrans)+" != "+itoa(l.RetransFast)+"+"+itoa(l.RetransRTO)+"+"+itoa(l.RetransTLP)+"+"+itoa(l.RetransReneg))
 	}
 	if l.RetransFast > l.LossDetected {
 		bad = append(bad, "fast retransmits ("+itoa(l.RetransFast)+") exceed fast loss detections ("+itoa(l.LossDetected)+")")
+	}
+	if l.RcvDupSegs > l.SegsRetrans+l.PathDuplicates {
+		bad = append(bad, "receiver dup segments ("+itoa(l.RcvDupSegs)+") exceed retransmissions ("+
+			itoa(l.SegsRetrans)+") + path duplicates ("+itoa(l.PathDuplicates)+")")
 	}
 	return bad
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"suss/internal/cc"
@@ -44,6 +45,32 @@ type Job struct {
 	// gets its own registry, so observed sweeps stay race-free at any
 	// worker count.
 	Observe bool
+	// Transport overrides the TCP configuration (nil = DefaultConfig);
+	// chaos runs use it to switch on the hardening knobs (F-RTO,
+	// adaptive reordering window, a tighter RTO give-up cap).
+	Transport *tcp.Config
+	// WallLimit arms a wall-clock watchdog on the simulation: a job
+	// that burns this much real time without draining is killed and
+	// reported as a *StallError (with a flight-recorder tail when the
+	// job is observed). Zero disables the watchdog. A watchdogged job
+	// is always observed, so a stall dump is never empty.
+	WallLimit time.Duration
+	// Impair, when non-nil, runs after the topology is built and before
+	// the flow starts — the hook where chaos attaches impairment stages
+	// and receiver fault modes.
+	Impair func(env ChaosEnv)
+}
+
+// ChaosEnv is what an Impair hook gets to work with: the simulation,
+// the built path, the flow about to start, the scenario's RNG, and the
+// derived seed so hooks can build private RNG streams that stay
+// decoupled from the scenario's own draws.
+type ChaosEnv struct {
+	Sim  *netsim.Simulator
+	Path *netsim.Path
+	Flow *tcp.Flow
+	RNG  *rand.Rand
+	Seed int64
 }
 
 func (j Job) describe() string {
@@ -68,6 +95,11 @@ type DownloadResult struct {
 	// Ledger is the cross-layer loss accounting (nil unless
 	// Job.Observe was set).
 	Ledger *obs.LossLedger
+	// FlowErr is the transport's terminal error (tcp.ErrRetransLimit
+	// when the flow gave up on a dead path); nil for healthy flows.
+	FlowErr error
+	// Stall is non-nil when the watchdog killed the simulation.
+	Stall *StallError
 }
 
 // recorderAttacher is implemented by every congestion controller that
@@ -92,8 +124,11 @@ func Download(j Job) DownloadResult {
 	sc := j.Scenario
 	sc.Seed = sc.Seed*1000003 + int64(j.Iter)*7919 + 1
 	sim := netsim.NewSimulator()
-	p, _ := sc.Build(sim)
+	p, rng := sc.Build(sim)
 	cfg := tcp.DefaultConfig()
+	if j.Transport != nil {
+		cfg = *j.Transport
+	}
 	f := tcp.NewFlow(sim, cfg, 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), j.Size, nil)
 	var ctrl cc.Controller
 	if j.Algo == Suss && j.SussOpt != nil {
@@ -103,7 +138,7 @@ func Download(j Job) DownloadResult {
 	}
 	f.Sender.SetController(ctrl)
 	var reg *obs.Registry
-	if j.Observe {
+	if j.Observe || j.WallLimit > 0 {
 		reg = obs.NewRegistry(0)
 		fr := reg.Flow(1)
 		f.Sender.AttachRecorder(fr)
@@ -117,12 +152,18 @@ func Download(j Job) DownloadResult {
 			l.AttachRecorder(reg.Link(fmt.Sprintf("fwd%d/%s", i, l.Name())))
 		}
 	}
+	if j.Impair != nil {
+		j.Impair(ChaosEnv{Sim: sim, Path: p, Flow: f, RNG: rng, Seed: sc.Seed})
+	}
 	f.StartAt(sim, 0)
 	horizon := j.Horizon
 	if horizon <= 0 {
 		horizon = DefaultHorizon
 	}
-	sim.Run(horizon)
+	var stall *StallError
+	if _, err := RunGuarded(sim, reg, horizon, j.WallLimit, j.describe()); err != nil {
+		stall = err.(*StallError)
+	}
 
 	last := p.Fwd[len(p.Fwd)-1]
 	lst := last.Stats()
@@ -137,6 +178,8 @@ func Download(j Job) DownloadResult {
 		Drops:     lst.DroppedPackets + lst.ErasedPackets,
 		PeakQueue: lst.MaxQueueBytes,
 		Completed: f.Done(),
+		FlowErr:   f.Sender.Err(),
+		Stall:     stall,
 	}
 	offered := lst.EnqueuedPackets + lst.DroppedPackets
 	if offered > 0 {
@@ -164,7 +207,12 @@ func Download(j Job) DownloadResult {
 func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 	outs := Map(ctx, jobs, func(_ context.Context, _ int, j Job) (DownloadResult, error) {
 		r := Download(j)
-		if !r.Completed {
+		switch {
+		case r.Stall != nil:
+			return r, fmt.Errorf("%s: %w", j.describe(), r.Stall)
+		case r.FlowErr != nil:
+			return r, fmt.Errorf("%s: %w", j.describe(), r.FlowErr)
+		case !r.Completed:
 			return r, fmt.Errorf("%s: %w", j.describe(), ErrIncomplete)
 		}
 		return r, nil

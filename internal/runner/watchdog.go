@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"suss/internal/netsim"
+	"suss/internal/obs"
+)
+
+// stallTailEvents is how many trailing flight-recorder events a
+// StallError carries — enough to see what the simulation was doing
+// when the watchdog pulled the plug, small enough to read.
+const stallTailEvents = 40
+
+// StallError reports a simulation the watchdog killed: it burned its
+// wall-clock budget without draining, which in a virtual-time
+// simulator means a livelocked event loop (events begetting events at
+// a frozen or crawling clock), never a slow scenario.
+type StallError struct {
+	// Desc identifies the job.
+	Desc string
+	// Wall is the wall-clock budget that expired.
+	Wall time.Duration
+	// SimTime is the virtual time the simulation had reached.
+	SimTime time.Duration
+	// Pending is the event-queue depth at the kill.
+	Pending int
+	// Events is the tail of the flight-recorder ring at the kill
+	// (empty when the job ran unobserved).
+	Events []obs.Event
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("watchdog: %s stalled after %v wall (sim time %v, %d events pending)",
+		e.Desc, e.Wall, e.SimTime, e.Pending)
+}
+
+// Dump renders the event tail for diagnostics (the chaos harness
+// writes it into the CI artifact on failure).
+func (e *StallError) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\nlast %d flight-recorder events:\n", e.Error(), len(e.Events))
+	for _, ev := range e.Events {
+		b.WriteString(obs.FormatEvent(ev))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunGuarded runs sim up to the virtual-time horizon under a
+// wall-clock watchdog. If the budget expires before the simulation
+// drains, the run is stopped at the next event boundary and a
+// *StallError is returned carrying the last flight-recorder events
+// from reg (nil reg = no tail). wall <= 0 disables the watchdog.
+//
+// The simulator is single-threaded and its Halt is not safe to call
+// from another goroutine, so the expiry crosses goroutines through an
+// atomic flag read by a StopWhen predicate — checked after every
+// event, including mid-batch.
+func RunGuarded(sim *netsim.Simulator, reg *obs.Registry, horizon, wall time.Duration, desc string) (time.Duration, error) {
+	if wall <= 0 {
+		return sim.Run(horizon), nil
+	}
+	var expired atomic.Bool
+	sim.StopWhen(func() bool { return expired.Load() })
+	defer sim.StopWhen(nil)
+	t := time.AfterFunc(wall, func() { expired.Store(true) })
+	end := sim.Run(horizon)
+	t.Stop()
+	if !expired.Load() {
+		return end, nil
+	}
+	se := &StallError{
+		Desc:    desc,
+		Wall:    wall,
+		SimTime: end,
+		Pending: sim.Pending(),
+	}
+	if reg != nil {
+		reg.Events().Do(func(ev obs.Event) bool {
+			se.Events = append(se.Events, ev)
+			return true
+		})
+		if len(se.Events) > stallTailEvents {
+			se.Events = se.Events[len(se.Events)-stallTailEvents:]
+		}
+	}
+	return end, se
+}

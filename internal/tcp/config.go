@@ -41,6 +41,24 @@ type Config struct {
 	// DupThresh is the reordering threshold in segments for marking a
 	// hole lost (RFC 6675: 3).
 	DupThresh int
+	// FRTO enables Eifel-style spurious-RTO detection: when an ACK
+	// after a timeout echoes a timestamp from before the timeout and
+	// advances the window, the RTO was spurious — the controller's
+	// window collapse and the RTO backoff are undone. Off by default:
+	// genuine tail-loss RTOs in the paper-reproduction experiments
+	// occasionally prove spurious too, and undoing them changes the
+	// pinned figure outputs. Chaos/robustness runs turn it on.
+	FRTO bool
+	// MaxConsecRTOs caps consecutive RTO fires without forward
+	// progress; exceeding it fails the flow with ErrRetransLimit
+	// instead of retransmitting forever into a dead path. Zero means
+	// unlimited.
+	MaxConsecRTOs int
+	// AdaptReoWnd grows the RACK-lite reordering window each time a
+	// loss marking is contradicted (spurious retransmit), trading
+	// recovery latency for robustness on reordering paths. Off by
+	// default: the default experiments pin byte-identical outputs.
+	AdaptReoWnd bool
 }
 
 // DefaultConfig returns Linux-like transport constants: 1448-byte MSS
@@ -56,6 +74,8 @@ func DefaultConfig() Config {
 		MinRTO:        200 * time.Millisecond,
 		MaxRTO:        8 * time.Second,
 		DupThresh:     3,
+		FRTO:          false,
+		MaxConsecRTOs: 12,
 	}
 }
 

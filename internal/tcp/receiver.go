@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"math/rand"
 	"time"
 
 	"suss/internal/netsim"
@@ -54,6 +55,15 @@ type Receiver struct {
 	// counters (the receiver-side complement of the sender's
 	// spurious-retransmit detection).
 	rec *obs.FlowRecorder
+
+	// SACK-reneging fault injection (EnableReneging): every
+	// renegeEvery, with probability renegeProb, discard all
+	// out-of-order data above the cumulative point — the RFC 2018
+	// memory-pressure behavior a hardened sender must survive.
+	renegeEvery time.Duration
+	renegeProb  float64
+	renegeRNG   *rand.Rand
+	renegeTimer netsim.Timer
 }
 
 // AttachRecorder installs a flight recorder on this receiver. Pass
@@ -81,6 +91,61 @@ func (r *Receiver) Received() int64 { return r.received }
 
 // recvDelAckEv fires the delayed ACK without a per-arm closure.
 func recvDelAckEv(ctx, _ any) { ctx.(*Receiver).sendAck(nil) }
+
+// recvRenegeEv is the reneging fault-injection tick.
+func recvRenegeEv(ctx, _ any) { ctx.(*Receiver).renegeTick() }
+
+// EnableReneging arms periodic SACK reneging: every interval, with the
+// given probability, the receiver throws away all out-of-order data it
+// previously SACKed (keeping only the contiguous prefix), as RFC 2018
+// permits under memory pressure. Deterministic given rng; prob 1.0
+// renegs on every tick.
+func (r *Receiver) EnableReneging(interval time.Duration, prob float64, rng *rand.Rand) {
+	if interval <= 0 {
+		return
+	}
+	r.renegeEvery = interval
+	r.renegeProb = prob
+	r.renegeRNG = rng
+	r.renegeTimer.Stop()
+	r.renegeTimer = r.sim.ScheduleEvent(interval, recvRenegeEv, r, nil)
+}
+
+func (r *Receiver) renegeTick() {
+	if r.completed {
+		// Stop re-arming so the simulation can drain.
+		return
+	}
+	if r.renegeProb >= 1 || r.renegeRNG.Float64() < r.renegeProb {
+		r.renege()
+	}
+	r.renegeTimer = r.sim.ScheduleEvent(r.renegeEvery, recvRenegeEv, r, nil)
+}
+
+// renege discards every received range above the contiguous prefix.
+func (r *Receiver) renege() {
+	keep := 0
+	if len(r.ranges) > 0 && r.ranges[0].Start == 0 {
+		keep = 1
+	}
+	var discarded int64
+	for _, g := range r.ranges[keep:] {
+		discarded += g.End - g.Start
+	}
+	if discarded == 0 {
+		return
+	}
+	r.ranges = r.ranges[:keep]
+	r.received -= discarded
+	// Forget the recency list too: those ranges no longer exist, and
+	// re-announcing them in SACK blocks would be lying twice over.
+	r.nRecent = 0
+	if o := r.rec; o != nil {
+		o.C.RcvRenegeEvents++
+		o.C.RcvRenegedBytes += discarded
+		o.Record(r.sim.Now(), obs.EvSackReneged, r.CumAck(), discarded, 0, 0)
+	}
+}
 
 // Handle processes one data packet addressed to this flow and
 // releases it: the receiver is the segment's final owner, so callers

@@ -76,3 +76,8 @@ func (r *rttEstimator) RTO() time.Duration {
 // Backoff doubles the RTO for the next query (called when the
 // retransmission timer fires).
 func (r *rttEstimator) Backoff() { r.backoff++ }
+
+// UndoBackoff clears the exponential backoff without waiting for a
+// fresh sample — F-RTO calls it when a timeout is proven spurious, so
+// the next RTO is computed from the (valid) SRTT again.
+func (r *rttEstimator) UndoBackoff() { r.backoff = 0 }

@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,6 +9,12 @@ import (
 	"suss/internal/netsim"
 	"suss/internal/obs"
 )
+
+// ErrRetransLimit is the terminal flow error when Config.MaxConsecRTOs
+// consecutive retransmission timeouts fire without any forward
+// progress — the path is treated as dead and the flow gives up cleanly
+// instead of backing off forever.
+var ErrRetransLimit = errors.New("tcp: consecutive retransmission timeouts exceeded limit")
 
 // segment states for the scoreboard.
 type segState uint8
@@ -36,6 +43,8 @@ type SenderStats struct {
 	SegmentsSent    int
 	Retransmissions int
 	RTOs            int
+	SpuriousRTOs    int // timeouts later proven spurious and undone (F-RTO)
+	SackRenegs      int // SACK-reneging episodes detected and repaired
 	TLPs            int // tail loss probes sent
 	LossEvents      int // fast-retransmit congestion events
 	Delivered       int64
@@ -99,6 +108,26 @@ type Sender struct {
 	startAt  time.Duration
 	doneAt   time.Duration
 
+	// F-RTO (Eifel) spurious-timeout detection state: armed by fireRTO,
+	// resolved by the first ACKs after it. frtoAt is when the timeout
+	// fired; an ACK echoing an earlier timestamp while advancing past
+	// frtoUna proves the original flight was still delivering.
+	frtoPending bool
+	frtoAt      time.Duration
+	frtoUna     int64
+	frtoNxt     int64
+
+	// consecRTOs counts RTO fires with no forward progress in between;
+	// Config.MaxConsecRTOs caps it (give-up → failed flow).
+	consecRTOs int
+	failed     bool
+	failErr    error
+
+	// reoWnd is the adaptive extra reordering tolerance added to
+	// RACK-lite loss detection (grown on contradicted loss markings
+	// when Config.AdaptReoWnd is set; zero otherwise).
+	reoWnd time.Duration
+
 	stats SenderStats
 
 	// rec, when non-nil, is the attached flight recorder; every
@@ -110,6 +139,8 @@ type Sender struct {
 	// OnComplete fires once when every byte has been cumulatively
 	// acknowledged.
 	OnComplete func(now time.Duration)
+	// OnFail fires once if the flow gives up (see ErrRetransLimit).
+	OnFail func(now time.Duration, err error)
 	// OnAckTrace, when non-nil, observes state after each processed
 	// ACK (for cwnd/RTT time series).
 	OnAckTrace func(now time.Duration, cwnd int64, srtt time.Duration, delivered int64)
@@ -171,6 +202,13 @@ func (s *Sender) Inflight() int64 { return s.inflight }
 
 // Finished reports whether every byte has been acknowledged.
 func (s *Sender) Finished() bool { return s.finished }
+
+// Failed reports whether the flow gave up with a terminal error.
+func (s *Sender) Failed() bool { return s.failed }
+
+// Err returns the terminal flow error, or nil while the flow is
+// healthy. A failed flow never reports Finished.
+func (s *Sender) Err() error { return s.failErr }
 
 // FCT returns the flow completion time (sender-side: start of
 // transmission to full acknowledgment). Zero until finished.
@@ -246,7 +284,7 @@ func senderFireRTOEv(ctx, _ any) { ctx.(*Sender).fireRTO() }
 func senderFireTLPEv(ctx, _ any) { ctx.(*Sender).fireTLP() }
 
 func (s *Sender) trySend() {
-	if !s.started || s.finished {
+	if !s.started || s.finished || s.failed {
 		return
 	}
 	for {
@@ -344,6 +382,8 @@ func (s *Sender) emit(seg, l int64, retrans bool) {
 				r.C.RetransRTO++
 			case obs.CauseTLP:
 				r.C.RetransTLP++
+			case obs.CauseReneg:
+				r.C.RetransReneg++
 			}
 			r.Record(now, obs.EvSegRetrans, seg, l, int64(cause), 0)
 		} else {
@@ -363,7 +403,7 @@ func (s *Sender) emit(seg, l int64, retrans bool) {
 // not touch pkt afterwards.
 func (s *Sender) HandleAck(pkt *netsim.Packet) {
 	defer pkt.Release()
-	if pkt.Kind != netsim.Ack || s.finished || !s.started {
+	if pkt.Kind != netsim.Ack || s.finished || s.failed || !s.started {
 		return
 	}
 	now := s.sim.Now()
@@ -373,6 +413,21 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 		sample = now - pkt.EchoTS
 		s.rtt.Update(sample)
 		s.minRTT.Update(sample, now)
+	}
+
+	// F-RTO (Eifel) resolution: an ACK that echoes a timestamp from
+	// before the timeout while advancing the window proves the original
+	// flight was still being delivered — the RTO was spurious. Only
+	// fresh transmissions carry echoes (Karn's rule), so a pre-frtoAt
+	// echo cannot have come from anything the timeout retransmitted.
+	if s.frtoPending {
+		if pkt.HasEcho && pkt.EchoTS < s.frtoAt && pkt.CumAck > s.frtoUna {
+			s.undoRTO(now)
+		} else if pkt.CumAck >= s.frtoNxt {
+			// The whole pre-timeout window was acked without proof of
+			// spuriousness; the question is moot.
+			s.frtoPending = false
+		}
 	}
 
 	var newBytes int64
@@ -403,6 +458,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 				if r := s.rec; r != nil {
 					r.C.SpuriousRetrans++
 				}
+				s.bumpReoWnd()
 			case stSacked:
 				// already counted
 			}
@@ -419,6 +475,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 			s.inRecovery = false
 		}
 		s.tlpArmed = true // forward progress re-arms the probe allowance
+		s.consecRTOs = 0  // cumulative progress resets the give-up counter
 		s.resetRTO()
 	}
 
@@ -451,6 +508,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 					if r := s.rec; r != nil {
 						r.C.SpuriousRetrans++
 					}
+					s.bumpReoWnd()
 				}
 				info.st = stSacked
 				s.state[seg] = info
@@ -461,6 +519,20 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 					s.highestSacked = seg + l
 				}
 			}
+		}
+	}
+
+	// SACK-reneging detection: a sane receiver never cumulatively
+	// acknowledges less than data it still reports SACKed, so the head
+	// segment sitting in stSacked while sndUna hasn't covered it means
+	// the receiver threw previously-SACKed data away (RFC 2018 allows
+	// this under memory pressure). Discard the reneged scoreboard state
+	// and repair by retransmission. Reverse-path ACK reordering can
+	// false-trigger this; the consequence is a conservative retransmit,
+	// never stalled or corrupted state.
+	if s.sndUna < s.sndNxt {
+		if info, ok := s.state[segStart(s.sndUna, s.cfg.MSS)]; ok && info.st == stSacked {
+			s.onSackReneg(now)
 		}
 	}
 
@@ -475,6 +547,12 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 
 	// Loss detection (RFC 6675-style: DupThresh segments SACKed above).
 	newlyLost := s.detectLosses(now)
+	if newlyLost > 0 {
+		// Real loss after the timeout: even if the RTO itself was
+		// spurious, the congestion signal stands — stop looking for
+		// proof and keep the collapse.
+		s.frtoPending = false
+	}
 	if newlyLost > 0 && !s.inRecovery {
 		s.inRecovery = true
 		s.recoveryEnd = s.sndNxt
@@ -641,8 +719,12 @@ func (s *Sender) detectLosses(now time.Duration) int64 {
 		if seg+thresh > s.highestSacked {
 			continue
 		}
-		lost := info.st == stInflight ||
-			(info.st == stRetransInFlight && now-info.sentAt > rackWindow)
+		// The adaptive reordering window (zero unless AdaptReoWnd has
+		// grown it) delays both markings by the extra tolerance; with
+		// reoWnd == 0 the stInflight condition reduces to the plain
+		// DupThresh rule since sentAt is always in the past.
+		lost := (info.st == stInflight && now-info.sentAt > s.reoWnd) ||
+			(info.st == stRetransInFlight && now-info.sentAt > rackWindow+s.reoWnd)
 		if lost {
 			l := s.segLen(seg)
 			s.inflight -= l
@@ -672,8 +754,19 @@ func (s *Sender) insertLost(seg int64) {
 
 // --- RTO ---
 
+// rtoNeeded reports whether unacknowledged data still depends on the
+// retransmission timer. The highestSacked term covers the reneging
+// corner: when every outstanding segment is SACKed there is nothing in
+// flight and nothing queued, yet sndUna hasn't advanced — if the
+// receiver then renegs, only a timeout can recover. For a sane
+// receiver the term is redundant (all-SACKed flows complete on the
+// cumulative ACK already in the pipe), so behavior is unchanged.
+func (s *Sender) rtoNeeded() bool {
+	return s.inflight > 0 || len(s.lostQueue) > 0 || s.highestSacked > s.sndUna
+}
+
 func (s *Sender) armRTO() {
-	if s.finished || s.inflight <= 0 && len(s.lostQueue) == 0 {
+	if s.finished || s.failed || !s.rtoNeeded() {
 		return
 	}
 	if !s.rtoTimer.Active() {
@@ -705,7 +798,7 @@ func (s *Sender) armTLP() {
 // an RTO. The congestion controller is not informed (the probe itself
 // is not a loss signal).
 func (s *Sender) fireTLP() {
-	if s.finished || !s.tlpArmed || s.inflight <= 0 {
+	if s.finished || s.failed || !s.tlpArmed || s.inflight <= 0 {
 		return
 	}
 	var tail int64 = -1
@@ -738,7 +831,7 @@ func (s *Sender) fireTLP() {
 
 func (s *Sender) resetRTO() {
 	s.tlpTimer.Stop()
-	if s.finished || s.inflight <= 0 && len(s.lostQueue) == 0 {
+	if s.finished || s.failed || !s.rtoNeeded() {
 		s.rtoTimer.Stop()
 		return
 	}
@@ -755,22 +848,37 @@ func (s *Sender) resetRTO() {
 }
 
 func (s *Sender) fireRTO() {
-	if s.finished {
+	if s.finished || s.failed {
 		return
 	}
-	if s.inflight <= 0 && len(s.lostQueue) == 0 {
+	if !s.rtoNeeded() {
 		return
 	}
+	now := s.sim.Now()
 	s.stats.RTOs++
+	s.consecRTOs++
+	if s.cfg.MaxConsecRTOs > 0 && s.consecRTOs > s.cfg.MaxConsecRTOs {
+		s.fail(now, fmt.Errorf("%w (%d fires, stuck at seq %d)", ErrRetransLimit, s.consecRTOs, s.sndUna))
+		return
+	}
 	s.tlpArmed = false
 	s.tlpTimer.Stop()
 	s.rtt.Backoff()
 	if r := s.rec; r != nil {
 		r.C.RTOFires++
-		r.Record(s.sim.Now(), obs.EvRTOFired, s.sndUna, 0, int64(s.stats.RTOs), 0)
+		r.Record(now, obs.EvRTOFired, s.sndUna, 0, int64(s.stats.RTOs), 0)
 	}
-	s.ctrl.OnRTO(s.sim.Now())
-	s.noteCwnd(s.sim.Now())
+	// Arm F-RTO before the controller collapses: the first ACKs after
+	// the timeout will either prove it spurious (pre-timeout echo with
+	// progress) or confirm it.
+	if s.cfg.FRTO {
+		s.frtoPending = true
+		s.frtoAt = now
+		s.frtoUna = s.sndUna
+		s.frtoNxt = s.sndNxt
+	}
+	s.ctrl.OnRTO(now)
+	s.noteCwnd(now)
 	// Mark everything outstanding as lost and rebuild the retransmit
 	// queue from the scoreboard (go-back-N under the collapsed window).
 	// Every segment the rebuild touches is re-attributed to the RTO —
@@ -796,11 +904,132 @@ func (s *Sender) fireRTO() {
 			s.insertLost(seg)
 		}
 	}
+	// The rebuild skips SACKed segments, so if the timeout fired with
+	// the whole outstanding window selectively acked (only possible
+	// when the receiver reneged and stopped advancing the cumulative
+	// point), there is still nothing to retransmit. Treat the SACK
+	// state as lies and repair from sndUna.
+	if len(s.lostQueue) == 0 && s.inflight <= 0 && s.sndUna < s.sndNxt {
+		s.onSackReneg(now)
+	}
 	s.inRecovery = false
 	s.nextRelease = 0
 	s.trySend()
 	if !s.rtoTimer.Active() {
 		s.rtoTimer = s.sim.ScheduleEvent(s.rtt.RTO(), senderFireRTOEv, s, nil)
+	}
+}
+
+// undoRTO reverts the most recent retransmission timeout after F-RTO
+// proved it spurious: segments the timeout wrote off but that were
+// never actually retransmitted go back in flight, the congestion
+// controller restores its pre-timeout window (when it can), and the
+// exponential backoff is cleared.
+func (s *Sender) undoRTO(now time.Duration) {
+	s.frtoPending = false
+	s.stats.SpuriousRTOs++
+	s.rtt.UndoBackoff()
+	if u, ok := s.ctrl.(cc.Undoer); ok {
+		u.UndoRTO(now)
+	}
+	// Un-mark segments the RTO declared lost that are still waiting in
+	// the retransmit queue: their original transmissions are alive in
+	// the network (that is what the pre-timeout echo proved). Segments
+	// already retransmitted, or marked lost by fast detection before
+	// the timeout, stay as they are.
+	kept := s.lostQueue[:0]
+	for _, seg := range s.lostQueue {
+		info := s.state[seg]
+		if obs.RetransCause(info.lostBy) == obs.CauseRTO {
+			info.st = stInflight
+			info.lostBy = 0
+			s.state[seg] = info
+			s.inflight += s.segLen(seg)
+			if seg+s.segLen(seg) <= s.highestSacked {
+				s.holes[seg] = struct{}{} // back under RACK's eye
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.lostQueue = kept
+	s.bumpReoWnd()
+	if r := s.rec; r != nil {
+		r.C.SpuriousRTOUndos++
+		r.Record(now, obs.EvRTOUndone, s.sndUna, 0, int64(s.stats.SpuriousRTOs), s.ctrl.CwndBytes())
+	}
+	s.noteCwnd(now)
+	s.resetRTO()
+}
+
+// onSackReneg repairs the scoreboard after the receiver discarded
+// SACKed data (RFC 2018 reneging): every SACKed segment above sndUna
+// is written off — its delivered credit reversed — and queued for
+// retransmission, and the SACK interval set is cleared so the
+// receiver's next (truthful) blocks rebuild it from scratch.
+func (s *Sender) onSackReneg(now time.Duration) {
+	s.stats.SackRenegs++
+	if r := s.rec; r != nil {
+		r.C.SackRenegings++
+		r.Record(now, obs.EvRenegDetected, s.sndUna, 0, s.highestSacked, 0)
+	}
+	for seg := segStart(s.sndUna, s.cfg.MSS); seg < s.sndNxt; seg += int64(s.cfg.MSS) {
+		info, ok := s.state[seg]
+		if !ok || info.st != stSacked {
+			continue
+		}
+		l := s.segLen(seg)
+		s.delivered -= l
+		info.st = stLost
+		info.lostBy = uint8(obs.CauseReneg)
+		s.state[seg] = info
+		s.insertLost(seg)
+	}
+	s.sackedIv = s.sackedIv[:0]
+	s.highestSacked = s.sndUna
+	for seg := range s.holes {
+		delete(s.holes, seg)
+	}
+	s.holeScan = segStart(s.sndUna, s.cfg.MSS)
+}
+
+// fail terminates the flow with a permanent error: timers stop, no
+// further sends or ACK processing happen, and the owner learns via
+// OnFail / Err.
+func (s *Sender) fail(now time.Duration, err error) {
+	s.failed = true
+	s.failErr = err
+	s.rtoTimer.Stop()
+	s.tlpTimer.Stop()
+	s.kickTimer.Stop()
+	if r := s.rec; r != nil {
+		r.C.FlowAborts++
+		r.Record(now, obs.EvFlowAbort, s.sndUna, 0, int64(s.stats.RTOs), 0)
+	}
+	if s.OnFail != nil {
+		s.OnFail(now, err)
+	}
+}
+
+// bumpReoWnd widens the adaptive RACK reordering window after a loss
+// marking was contradicted — evidence the path reorders more than the
+// current window tolerates. Grows in minRTT/4 steps, capped at one
+// SRTT (RFC 8985's DSACK-driven adaptation, with contradicted marks
+// as the signal since the simulator has no DSACK).
+func (s *Sender) bumpReoWnd() {
+	if !s.cfg.AdaptReoWnd {
+		return
+	}
+	step := s.minRTT.Get() / 4
+	if step < time.Millisecond {
+		step = time.Millisecond
+	}
+	lim := s.rtt.SRTT()
+	if lim == 0 {
+		lim = s.rtt.RTO()
+	}
+	if s.reoWnd += step; s.reoWnd > lim {
+		s.reoWnd = lim
 	}
 }
 
