@@ -6,8 +6,11 @@ BENCH_PKG ?= .
 BENCH_COUNT ?= 5
 BENCH_BASELINE ?= bench.baseline.txt
 BENCH_HEAD ?= bench.head.txt
+# Allowed relative ns/op regression for bench-gate (allocs/op always
+# gates at zero increase).
+BENCH_TOL ?= 0.10
 
-.PHONY: check build vet test testdebug race allocgate chaos bench bench-sched bench-baseline bench-compare clean
+.PHONY: check build vet test testdebug race allocgate chaos interop fuzz-short bench bench-sched bench-baseline bench-compare bench-record bench-gate clean
 
 # The full gate CI runs: build + vet + tests (including the
 # AllocsPerRun zero-allocation gates in internal/netsim) + the
@@ -39,10 +42,10 @@ race:
 # Zero-allocation gates, run explicitly and WITHOUT -race: race
 # instrumentation inserts allocations of its own, so AllocsPerRun is
 # only meaningful on an uninstrumented build. Covers the flight
-# recorder (internal/obs) and the event/packet arenas
-# (internal/netsim).
+# recorder (internal/obs), the event/packet arenas (internal/netsim),
+# the wire codec and the simulator backend's send/deliver path.
 allocgate:
-	$(GO) test -run 'Alloc' -v ./internal/obs ./internal/netsim
+	$(GO) test -run 'Alloc' -v ./internal/obs ./internal/netsim ./internal/wire ./internal/wire/simbackend
 
 # Chaos matrix under -race: every impairment × CC algo × seed must
 # complete (or error cleanly) with a balanced loss ledger, and a wedged
@@ -52,6 +55,19 @@ allocgate:
 # as an artifact.
 chaos:
 	$(GO) test -race -timeout 300s -v ./internal/chaos
+
+# Wire-backend interop under -race: the same transport over the
+# in-memory pipe and the UDP loopback, wall-clock timers, real frames
+# between goroutines (including lossy cells recovering by
+# retransmission). The timeout is a hang backstop — the lossy tests
+# poll with their own deadlines.
+interop:
+	$(GO) test -race -timeout 180s ./internal/wire/...
+
+# Short fuzz pass over the strict segment decoder: enough iterations
+# to catch parser regressions in CI without open-ended fuzzing.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeSegment -fuzztime 30s ./internal/wire
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -81,5 +97,35 @@ bench-compare:
 		grep -h '^Benchmark' $(BENCH_BASELINE) $(BENCH_HEAD); \
 	fi
 
+# bench-record refreshes the committed JSON baselines (BENCH_fig11.json,
+# BENCH_sched.json); bench-gate reruns the same benchmarks and fails on
+# a >10% ns/op regression or ANY allocs/op increase (see cmd/benchgate).
+# The fig11 gate runs the single-worker sweep: the parallel variant's
+# ns/op and allocs/op wobble with goroutine scheduling, while the
+# serial one is a deterministic replay whose alloc count is exact.
+# Both gates reduce -count samples to best-of-N, so run them on a quiet
+# machine, and re-record deliberately when a change legitimately shifts
+# the cost profile.
+FIG11_BENCH = 'BenchmarkFig11ParallelVsSequential/workers=1$$'
+# benchtime stays at 1x: each sample is one full sweep, so allocs/op
+# is an exact count (longer benchtimes amortize setup allocations and
+# introduce ±1 rounding jitter); the high -count tightens best-of-N.
+FIG11_FLAGS = -benchmem -benchtime 1x -count 12
+SCHED_BENCH = 'BenchmarkScheduler(Churn|Cascade)'
+SCHED_FLAGS = -benchmem -count 8
+
+bench-record:
+	$(GO) test -run '^$$' -bench $(FIG11_BENCH) $(FIG11_FLAGS) . > bench.fig11.txt
+	$(GO) run ./cmd/benchgate -record BENCH_fig11.json < bench.fig11.txt
+	$(GO) test -run '^$$' -bench $(SCHED_BENCH) $(SCHED_FLAGS) ./internal/netsim > bench.sched.txt
+	$(GO) run ./cmd/benchgate -record BENCH_sched.json < bench.sched.txt
+
+bench-gate:
+	$(GO) test -run '^$$' -bench $(FIG11_BENCH) $(FIG11_FLAGS) . > bench.fig11.txt
+	$(GO) run ./cmd/benchgate -tolerance $(BENCH_TOL) -compare BENCH_fig11.json < bench.fig11.txt
+	$(GO) test -run '^$$' -bench $(SCHED_BENCH) $(SCHED_FLAGS) ./internal/netsim > bench.sched.txt
+	$(GO) run ./cmd/benchgate -tolerance $(BENCH_TOL) -compare BENCH_sched.json < bench.sched.txt
+
 clean:
 	$(GO) clean ./...
+	rm -f bench.fig11.txt bench.sched.txt

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	algoName := flag.String("algo", "suss", "cubic | suss | bbr | bbr2")
+	algoName := flag.String("algo", "suss", "cubic | suss | bbr | bbr2 | reno")
 	sizeStr := flag.String("size", "2MB", "transfer size (e.g. 512KB, 4MB)")
 	rate := flag.Float64("rate", 100, "last-hop mean rate in Mbit/s (custom path)")
 	rtt := flag.Duration("rtt", 100*time.Millisecond, "propagation RTT (custom path)")
@@ -40,6 +40,9 @@ func main() {
 	eventsPath := flag.String("events", "", "record the flight-recorder event log to this file (.jsonl | .csv | anything else = timeline text; \"-\" = timeline to stdout)")
 	counters := flag.Bool("counters", false, "dump the flight-recorder flow/link counters after the run")
 	chaosRun := flag.Bool("chaos", false, "run the chaos impairment matrix (catalog × algos × seeds) and exit non-zero on any failure")
+	serveAddr := flag.String("serve", "", "serve -size bytes over a real UDP socket on this address (e.g. 127.0.0.1:7000); pair with a -fetch process")
+	fetchAddr := flag.String("fetch", "", "fetch -size bytes from a -serve process at this address")
+	wireLoss := flag.Float64("wireloss", 0, "with -serve: fraction of outgoing frames to erase at the wire (e.g. 0.05)")
 	flag.Parse()
 
 	if *chaosRun {
@@ -65,6 +68,19 @@ func main() {
 	size, err := parseSize(*sizeStr)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *serveAddr != "" {
+		if err := serveFlow(*serveAddr, algo, size, *wireLoss, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *fetchAddr != "" {
+		if err := fetchFlow(*fetchAddr, size); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	observe := *eventsPath != "" || *counters
@@ -170,6 +186,8 @@ func parseAlgo(s string) (suss.Algorithm, error) {
 		return suss.BBRv1, nil
 	case "bbr2", "bbrv2":
 		return suss.BBRv2Lite, nil
+	case "reno":
+		return suss.Reno, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
 	}

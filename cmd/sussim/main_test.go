@@ -42,6 +42,7 @@ func TestParseAlgo(t *testing.T) {
 		"bbrv1":      suss.BBRv1,
 		"bbr2":       suss.BBRv2Lite,
 		"BBRv2":      suss.BBRv2Lite,
+		"reno":       suss.Reno,
 	}
 	for in, want := range cases {
 		got, err := parseAlgo(in)
@@ -53,7 +54,7 @@ func TestParseAlgo(t *testing.T) {
 			t.Errorf("parseAlgo(%q) = %v, want %v", in, got, want)
 		}
 	}
-	if _, err := parseAlgo("reno"); err == nil {
+	if _, err := parseAlgo("vegas"); err == nil {
 		t.Error("unknown algorithm should fail")
 	}
 }

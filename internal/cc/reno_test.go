@@ -1,0 +1,115 @@
+package cc
+
+import (
+	"testing"
+	"time"
+)
+
+// renoEnv is a minimal Env for driving the controller directly.
+type renoEnv struct{}
+
+func (renoEnv) Now() time.Duration                   { return 0 }
+func (renoEnv) Schedule(time.Duration, func()) Timer { return nil }
+func (renoEnv) Kick()                                {}
+func (renoEnv) MSS() int                             { return 1448 }
+
+func ack(bytes int, inRecovery bool) AckEvent {
+	return AckEvent{AckedBytes: bytes, InRecovery: inRecovery}
+}
+
+func TestRenoSlowStartDoubles(t *testing.T) {
+	r := NewReno(renoEnv{}, DefaultRenoOptions())
+	if !r.InSlowStart() || r.CwndSegments() != 10 {
+		t.Fatalf("initial state: ss=%v cwnd=%v", r.InSlowStart(), r.CwndSegments())
+	}
+	// Acking a full window in slow start doubles it.
+	for i := 0; i < 10; i++ {
+		r.OnAck(ack(1448, false))
+	}
+	if got := r.CwndSegments(); got != 20 {
+		t.Fatalf("cwnd after one slow-start round = %v, want 20", got)
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	r := NewReno(renoEnv{}, DefaultRenoOptions())
+	r.ssthresh = 10 // start in CA at cwnd 10
+	if r.InSlowStart() {
+		t.Fatal("should be in congestion avoidance")
+	}
+	// One full window of ACKs adds ~one segment.
+	for i := 0; i < 10; i++ {
+		r.OnAck(ack(1448, false))
+	}
+	if got := r.CwndSegments(); got < 10.9 || got > 11.1 {
+		t.Fatalf("cwnd after one CA round = %v, want ≈11", got)
+	}
+}
+
+func TestRenoSlowStartCapsAtSsthresh(t *testing.T) {
+	r := NewReno(renoEnv{}, DefaultRenoOptions())
+	r.ssthresh = 12
+	r.OnAck(ack(10*1448, false)) // would jump to 20 uncapped
+	if got := r.CwndSegments(); got != 12 {
+		t.Fatalf("cwnd = %v, want capped at ssthresh 12", got)
+	}
+}
+
+func TestRenoHalvesOnLoss(t *testing.T) {
+	r := NewReno(renoEnv{}, DefaultRenoOptions())
+	r.cwnd, r.ssthresh = 40, 30
+	r.OnLoss(LossEvent{Inflight: 40 * 1448})
+	if r.CwndSegments() != 20 || r.SsthreshSegments() != 20 {
+		t.Fatalf("after loss: cwnd=%v ssthresh=%v, want 20/20", r.CwndSegments(), r.SsthreshSegments())
+	}
+	if r.InSlowStart() {
+		t.Fatal("halving must land in congestion avoidance")
+	}
+	// Floor at two segments.
+	r.OnLoss(LossEvent{Inflight: 1448})
+	if r.CwndSegments() != 2 {
+		t.Fatalf("cwnd floor = %v, want 2", r.CwndSegments())
+	}
+}
+
+func TestRenoRecoveryFreezesGrowth(t *testing.T) {
+	r := NewReno(renoEnv{}, DefaultRenoOptions())
+	before := r.CwndSegments()
+	r.OnAck(ack(5*1448, true))
+	if r.CwndSegments() != before {
+		t.Fatal("window grew during recovery")
+	}
+}
+
+func TestRenoRTOAndUndo(t *testing.T) {
+	r := NewReno(renoEnv{}, DefaultRenoOptions())
+	r.cwnd, r.ssthresh = 40, 30
+	r.OnRTO(0)
+	if r.CwndSegments() != 1 || r.SsthreshSegments() != 20 {
+		t.Fatalf("after RTO: cwnd=%v ssthresh=%v, want 1/20", r.CwndSegments(), r.SsthreshSegments())
+	}
+	r.UndoRTO(0)
+	if r.CwndSegments() != 40 || r.SsthreshSegments() != 30 {
+		t.Fatalf("undo did not restore: cwnd=%v ssthresh=%v", r.CwndSegments(), r.SsthreshSegments())
+	}
+	// The undo window is closed now.
+	r.UndoRTO(0)
+	if r.CwndSegments() != 40 {
+		t.Fatal("double undo changed state")
+	}
+
+	// A real loss after an RTO invalidates the snapshot.
+	r.OnRTO(0)
+	r.OnLoss(LossEvent{Inflight: 4 * 1448})
+	got := r.CwndSegments()
+	r.UndoRTO(0)
+	if r.CwndSegments() != got {
+		t.Fatal("undo fired after a real loss closed the window")
+	}
+}
+
+// Interface compliance.
+var (
+	_ Controller = (*Reno)(nil)
+	_ Undoer     = (*Reno)(nil)
+)

@@ -106,12 +106,13 @@ type Options struct {
 }
 
 // DefaultOptions returns the matrix CI runs: full catalog × {SUSS,
-// BBR} × 4 seeds, 4 MB downloads (long enough that every scheduled
-// window in the catalog overlaps the flow), 30 s wall budget per job.
+// BBR, Reno} × 4 seeds, 4 MB downloads (long enough that every
+// scheduled window in the catalog overlaps the flow), 30 s wall
+// budget per job.
 func DefaultOptions() Options {
 	return Options{
 		Impairments: Catalog(),
-		Algos:       []runner.Algo{runner.Suss, runner.BBR},
+		Algos:       []runner.Algo{runner.Suss, runner.BBR, runner.Reno},
 		Seeds:       []int64{1, 2, 3, 4},
 		Size:        4 << 20,
 		WallLimit:   30 * time.Second,

@@ -7,6 +7,7 @@ import (
 	"suss/internal/core"
 	"suss/internal/netsim"
 	"suss/internal/tcp"
+	"suss/internal/wire"
 )
 
 // TestWirePacingPattern verifies the Fig. 5/6 transmission pattern on
@@ -26,8 +27,10 @@ func TestWirePacingPattern(t *testing.T) {
 	f.Sender.SetController(s)
 
 	var sendTimes []time.Duration
-	f.Receiver.OnData = func(now time.Duration, pkt *netsim.Packet) {
-		sendTimes = append(sendTimes, pkt.SentAt)
+	f.Receiver.OnData = func(now time.Duration, seg *wire.Segment) {
+		// Fresh sends carry their departure time in the timestamp
+		// option; this flow never retransmits, so every arrival has one.
+		sendTimes = append(sendTimes, wire.UnwrapTS(now, seg.TSVal))
 	}
 	f.StartAt(sim, 0)
 	sim.Run(10 * time.Minute)

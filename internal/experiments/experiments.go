@@ -40,6 +40,8 @@ const (
 	// BBRSuss is the paper's §7 future work: BBRv1 with SUSS-style
 	// growth prediction.
 	BBRSuss = runner.BBRSuss
+	// Reno is classic AIMD (RFC 5681), the implicit baseline.
+	Reno = runner.Reno
 )
 
 // NewController builds a's controller bound to sender s.

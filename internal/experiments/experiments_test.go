@@ -160,7 +160,7 @@ func TestFig15Shape(t *testing.T) {
 func TestMatrixCellShape(t *testing.T) {
 	sc := scenarios.New(scenarios.OracleSydney, netem.WiFi, 3)
 	cell := RunMatrixCell(sc, []int64{512 << 10, 2 << 20}, 2)
-	if len(cell.FCT) != 2 || len(cell.FCT[0]) != 3 {
+	if len(cell.FCT) != 2 || len(cell.FCT[0]) != 4 {
 		t.Fatalf("cell shape wrong: %+v", cell.FCT)
 	}
 	for si := range cell.Sizes {

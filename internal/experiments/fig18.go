@@ -33,8 +33,10 @@ type MatrixResult struct {
 	Cells []MatrixCell
 }
 
-// matrixAlgos orders each cell's algorithm columns.
-var matrixAlgos = []Algo{BBR, Suss, Cubic}
+// matrixAlgos orders each cell's algorithm columns. Reno rides along
+// as the classic-AIMD yardstick; the first three columns keep their
+// order so existing readers of the CSV stay aligned.
+var matrixAlgos = []Algo{BBR, Suss, Cubic, Reno}
 
 // cellJobs declares one scenario cell's sweep: sizes × algos × iters.
 func cellJobs(sc scenarios.Scenario, sizes []int64, iters int) []runner.Job {

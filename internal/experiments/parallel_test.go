@@ -106,8 +106,8 @@ func TestMatrixWriteCSVShape(t *testing.T) {
 		Scenario:    sc,
 		Sizes:       []int64{512 << 10, 2 << 20},
 		Algos:       matrixAlgos,
-		FCT:         [][]stats.Summary{{{Mean: 1}, {Mean: 2}, {Mean: 3}}, {{Mean: 4}, {Mean: 5}, {Mean: 6}}},
-		Loss:        [][]float64{{0.01, 0.02, 0.03}, {0.04, 0.05, 0.06}},
+		FCT:         [][]stats.Summary{{{Mean: 1}, {Mean: 2}, {Mean: 3}, {Mean: 7}}, {{Mean: 4}, {Mean: 5}, {Mean: 6}, {Mean: 8}}},
+		Loss:        [][]float64{{0.01, 0.02, 0.03, 0.07}, {0.04, 0.05, 0.06, 0.08}},
 		Improvement: []float64{0.1, 0.2},
 	}
 	res := MatrixResult{Cells: []MatrixCell{cell, cell}}

@@ -81,12 +81,46 @@ type Packet struct {
 	// the first link. Used for tracing only.
 	SentAt time.Duration
 
+	// frame holds the packet's encoded wire image — the IPv4+TCP
+	// headers produced by internal/wire. Payload bytes are virtual in
+	// the simulator (the IP total length covers them; the buffer does
+	// not), so MaxFrameLen is the codec's maximum header size and the
+	// storage can live inline: no per-packet allocation, and recycling
+	// through the pool costs one small memset. frameLen is zero for
+	// packets built without a wire image (ad-hoc test traffic).
+	frame    [MaxFrameLen]byte
+	frameLen uint8
+
 	// pool is the free list this packet returns to on Release; nil for
 	// packets built with a literal. freed is the sussdebug
 	// use-after-release flag (see pool_debug.go).
 	pool  *PacketPool
 	freed bool
 }
+
+// MaxFrameLen is the inline frame-buffer capacity: the largest
+// header-only wire image internal/wire can encode (20-byte IPv4 +
+// 60-byte TCP header with a full option area). Payload bytes are
+// virtual in the simulator, so no frame ever needs more.
+const MaxFrameLen = 80
+
+// FrameBuf returns the full inline frame buffer for an encoder to
+// write into; the caller records the written length with SetFrameLen.
+func (p *Packet) FrameBuf() []byte { return p.frame[:] }
+
+// SetFrameLen records how many bytes of the frame buffer hold the
+// encoded wire image.
+func (p *Packet) SetFrameLen(n int) {
+	if n < 0 || n > MaxFrameLen {
+		panic("netsim: frame length out of range")
+	}
+	p.frameLen = uint8(n)
+}
+
+// Frame returns the packet's encoded wire image (empty for packets
+// that never carried one). The view is valid only while the caller
+// owns the packet.
+func (p *Packet) Frame() []byte { return p.frame[:p.frameLen] }
 
 // CopyFrom copies every wire field of src into p while preserving p's
 // own pool identity, so a pooled packet can become a byte-for-byte

@@ -282,3 +282,41 @@ func (s *Simulator) drainBucket(b int, at time.Duration) {
 		}
 	}
 }
+
+// NextEventAt returns the exact deadline of the earliest pending
+// event, or false when nothing is pending. It walks every bucket list
+// — O(pending) — which is fine for its audience: real-time drivers
+// (the pipe and UDP wire backends) that run a private Simulator at
+// wall-clock pace and need to know how long to sleep between
+// Run(now) calls. The hot simulation loop never calls it.
+func (s *Simulator) NextEventAt() (time.Duration, bool) {
+	if s.npending == 0 {
+		return 0, false
+	}
+	// A batch paused mid-dispatch (Halt/StopWhen) fires at batchAt;
+	// entries stopped while waiting read as bucketBatch no longer.
+	for _, idx := range s.batch[s.batchPos:] {
+		if s.slots[idx].bucket == bucketBatch {
+			return s.batchAt, true
+		}
+	}
+	min := int64(math.MaxInt64)
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		occ := s.occ[lvl]
+		for occ != 0 {
+			slot := bits.TrailingZeros64(occ)
+			occ &= occ - 1
+			for i := s.bhead[lvl*wheelSlots+slot]; i >= 0; i = s.slots[i].next {
+				if at := int64(s.slots[i].at); at < min {
+					min = at
+				}
+			}
+		}
+	}
+	for i := s.bhead[overflowBucket]; i >= 0; i = s.slots[i].next {
+		if at := int64(s.slots[i].at); at < min {
+			min = at
+		}
+	}
+	return time.Duration(min), true
+}

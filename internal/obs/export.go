@@ -189,6 +189,10 @@ func WriteCounters(w io.Writer, g *Registry) error {
 			{"suss_boosts", c.SussBoosts},
 			{"suss_exits", c.SussExits},
 			{"hystart_exits", c.HyStartExits},
+			{"wire_frames_out", c.WireFramesOut},
+			{"wire_bytes_out", c.WireBytesOut},
+			{"wire_frames_in", c.WireFramesIn},
+			{"wire_bytes_in", c.WireBytesIn},
 		}
 		for _, r := range rows {
 			if _, err := fmt.Fprintf(bw, "  %-18s %d\n", r.name, r.v); err != nil {

@@ -367,6 +367,15 @@ type FlowCounters struct {
 	SussBoosts   int64
 	SussExits    int64
 	HyStartExits int64
+
+	// Wire layer: frames and encoded bytes through the endpoint's
+	// wire.Conn. Byte counts are real framed lengths (IP total length),
+	// which differ from the modeled Size accounting above — the pair
+	// exposes framing overhead per flow on any backend.
+	WireFramesOut int64
+	WireBytesOut  int64
+	WireFramesIn  int64
+	WireBytesIn   int64
 }
 
 // LinkCounters aggregates one link's queue activity.

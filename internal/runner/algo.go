@@ -27,6 +27,9 @@ const (
 	// BBRSuss is the paper's §7 future work: BBRv1 with SUSS-style
 	// growth prediction doubling STARTUP's gains.
 	BBRSuss
+	// Reno is classic AIMD (RFC 5681), the yardstick every other
+	// controller's slow-start gains are implicitly measured against.
+	Reno
 )
 
 func (a Algo) String() string {
@@ -43,6 +46,8 @@ func (a Algo) String() string {
 		return "cubic+hspp"
 	case BBRSuss:
 		return "bbr+suss"
+	case Reno:
+		return "reno"
 	default:
 		return "unknown"
 	}
@@ -65,6 +70,8 @@ func NewController(a Algo, s *tcp.Sender) cc.Controller {
 		return cubic.New(s, opt)
 	case BBRSuss:
 		return bbr.New(s, bbr.SUSSOptions())
+	case Reno:
+		return cc.NewReno(s, cc.DefaultRenoOptions())
 	default:
 		panic("runner: unknown algo")
 	}

@@ -35,6 +35,12 @@ type Job struct {
 	Algo     Algo
 	Size     int64
 	Iter     int
+	// Backend selects the wire backend carrying the flow's frames:
+	// "" or "sim" is the deterministic simulator (default); "pipe"
+	// runs the same transport over the in-memory wall-clock pipe
+	// (Observe, Impair and WallLimit do not apply there, and results
+	// are wall-clock measurements, not deterministic replays).
+	Backend string
 	// SussOpt overrides the SUSS configuration when Algo == Suss (nil
 	// = defaults); ablations use it to disable individual mechanisms.
 	SussOpt *core.Options
@@ -121,6 +127,13 @@ type Result struct {
 // Download executes one job synchronously. It is the single-simulation
 // primitive all experiment sweeps reduce to.
 func Download(j Job) DownloadResult {
+	switch j.Backend {
+	case "", "sim":
+	case "pipe":
+		return downloadPipe(j)
+	default:
+		panic("runner: unknown backend " + j.Backend)
+	}
 	sc := j.Scenario
 	sc.Seed = sc.Seed*1000003 + int64(j.Iter)*7919 + 1
 	sim := netsim.NewSimulator()

@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"time"
+
+	"suss/internal/cc"
+	"suss/internal/core"
+	"suss/internal/tcp"
+	"suss/internal/wire/pipebackend"
+)
+
+// downloadPipe executes the job over the in-memory pipe backend:
+// real encoded frames crossing between two reactor goroutines, with
+// transport timers firing at wall-clock pace. The scenario maps onto
+// the pipe's small path model — one-way delay RTT/2 and the
+// bottleneck's serialization rate — so FCTs are comparable to (not
+// identical with) the simulator backend's. Observe, Impair and
+// WallLimit are simulator-backend features and do not apply here;
+// Horizon bounds wall-clock time (virtual time is pinned to it).
+func downloadPipe(j Job) DownloadResult {
+	sc := j.Scenario
+	be := pipebackend.New(pipebackend.Config{Delay: sc.RTT / 2, Rate: sc.BtlBw()})
+	defer be.Close()
+	sconn, rconn, err := be.FlowConns(1)
+	if err != nil {
+		panic("runner: pipe backend rejected flow 1: " + err.Error())
+	}
+
+	cfg := tcp.DefaultConfig()
+	if j.Transport != nil {
+		cfg = *j.Transport
+	}
+	f := tcp.NewFlowOver(cfg, 1, sconn, rconn, j.Size, nil)
+	var ctrl cc.Controller
+	if j.Algo == Suss && j.SussOpt != nil {
+		ctrl = core.New(f.Sender, *j.SussOpt)
+	} else {
+		ctrl = NewController(j.Algo, f.Sender)
+	}
+	f.Sender.SetController(ctrl)
+
+	done := make(chan struct{})
+	be.B().Reactor().DoWait(func() {
+		complete := f.Receiver.OnComplete // records CompletedAt
+		f.Receiver.OnComplete = func(now time.Duration) {
+			complete(now)
+			close(done)
+		}
+	})
+	be.A().Reactor().DoWait(func() {
+		sim := be.A().Reactor().Sim()
+		f.StartAt(sim, sim.Now())
+	})
+
+	horizon := j.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	completed := false
+	select {
+	case <-done:
+		completed = true
+	case <-time.After(horizon):
+	}
+	// The receiver finishing does not mean the sender saw the final
+	// ACK yet; give it a short grace so its counters settle.
+	if completed {
+		for waited := time.Duration(0); waited < time.Second; waited += 5 * time.Millisecond {
+			var fin bool
+			be.A().Reactor().DoWait(func() { fin = f.Sender.Finished() })
+			if fin {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	res := DownloadResult{Algo: j.Algo, Size: j.Size, Completed: completed}
+	be.A().Reactor().DoWait(func() {
+		st := f.Sender.Stats()
+		res.Delivered = f.Sender.Delivered()
+		res.Segments = st.SegmentsSent
+		res.Retrans = st.Retransmissions
+		res.RTOs = st.RTOs
+		res.FlowErr = f.Sender.Err()
+		if s, ok := ctrl.(*core.Suss); ok {
+			res.MaxG = s.Stats().MaxG
+			res.AccelRounds = s.Stats().AcceleratedRounds
+		}
+	})
+	if completed {
+		res.FCT = f.FCT() // written before done closed; safe to read
+	}
+	ast := be.A().Stats()
+	res.Drops = int(ast.ImpairDrops)
+	if ast.FramesOut > 0 {
+		res.LossRate = float64(ast.ImpairDrops) / float64(ast.FramesOut)
+	}
+	return res
+}

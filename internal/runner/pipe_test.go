@@ -1,0 +1,52 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"suss/internal/netem"
+	"suss/internal/scenarios"
+)
+
+// TestDownloadPipeBackend runs the same Job through the pipe backend:
+// identical transport code, wall-clock timers, real frames between
+// goroutines. FCT is a wall-clock measurement so the test only sanity
+// bounds it.
+func TestDownloadPipeBackend(t *testing.T) {
+	sc := scenarios.New(scenarios.GoogleTokyo, netem.Wired, 1)
+	sc.RTT = 10 * time.Millisecond
+	r := Download(Job{
+		Scenario: sc,
+		Algo:     Suss,
+		Size:     256 << 10,
+		Backend:  "pipe",
+		Horizon:  30 * time.Second,
+	})
+	if !r.Completed {
+		t.Fatalf("pipe download incomplete: delivered %d", r.Delivered)
+	}
+	if r.Delivered != 256<<10 {
+		t.Fatalf("delivered %d, want %d", r.Delivered, 256<<10)
+	}
+	if r.FCT <= 0 || r.FCT > 30*time.Second {
+		t.Fatalf("implausible FCT %v", r.FCT)
+	}
+	if r.Segments == 0 {
+		t.Fatal("no segments counted")
+	}
+	if r.MaxG == 0 {
+		t.Error("SUSS controller stats missing (MaxG=0)")
+	}
+}
+
+// TestDownloadUnknownBackend pins the failure mode for a typo'd
+// backend name: loud, not a silent fallback to the simulator.
+func TestDownloadUnknownBackend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown backend should panic")
+		}
+	}()
+	Download(Job{Scenario: scenarios.New(scenarios.GoogleTokyo, netem.Wired, 1),
+		Algo: Cubic, Size: 1 << 10, Backend: "carrier-pigeon"})
+}

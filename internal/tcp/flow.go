@@ -5,41 +5,20 @@ import (
 
 	"suss/internal/cc"
 	"suss/internal/netsim"
+	"suss/internal/wire"
+	"suss/internal/wire/simbackend"
 )
 
 // Demux dispatches packets delivered to a host among the flows
-// terminating there, so several flows can share one host (the paper's
-// Fig. 16 workload reuses client-server pairs for sequential flows).
-type Demux struct {
-	handlers map[netsim.FlowID]func(*netsim.Packet)
-}
+// terminating there. It lives with the simulator backend now (the
+// other wire backends carry one flow per conn and need no demux); the
+// alias keeps the many existing construction sites unchanged.
+type Demux = simbackend.Demux
 
 // NewDemux installs a demultiplexer as the host's packet handler.
-// Ownership: packets routed to a registered flow are consumed (and
-// released) by that flow's endpoint; packets for unregistered flows
-// are released here, so no pooled packet leaks.
-func NewDemux(host *netsim.Host) *Demux {
-	d := &Demux{handlers: make(map[netsim.FlowID]func(*netsim.Packet))}
-	host.SetHandler(func(pkt *netsim.Packet) {
-		if fn, ok := d.handlers[pkt.Flow]; ok {
-			fn(pkt)
-		} else {
-			pkt.Release()
-		}
-	})
-	return d
-}
+func NewDemux(host *netsim.Host) *Demux { return simbackend.NewDemux(host) }
 
-// Register routes packets of flow id to fn, replacing any previous
-// registration.
-func (d *Demux) Register(id netsim.FlowID, fn func(*netsim.Packet)) {
-	d.handlers[id] = fn
-}
-
-// Unregister removes a flow's handler.
-func (d *Demux) Unregister(id netsim.FlowID) { delete(d.handlers, id) }
-
-// Flow bundles a sender and receiver wired across a topology.
+// Flow bundles a sender and receiver wired across a wire backend.
 type Flow struct {
 	ID       netsim.FlowID
 	Sender   *Sender
@@ -52,20 +31,35 @@ type Flow struct {
 	startAt     time.Duration
 }
 
+// NewFlowOver wires a sender and receiver for a size-byte transfer
+// over an arbitrary pair of wire conns (one per endpoint), installing
+// each endpoint as its conn's frame handler. This is the
+// backend-agnostic constructor: the same sender and receiver code
+// runs whether the conns attach to the simulator, an in-memory pipe
+// or a UDP socket.
+func NewFlowOver(cfg Config, id netsim.FlowID, sconn, rconn wire.Conn,
+	size int64, ctrl cc.Controller) *Flow {
+
+	f := &Flow{ID: id}
+	f.Sender = NewSender(sconn, cfg, id, size, ctrl)
+	f.Receiver = NewReceiver(rconn, cfg, id, size)
+	f.Receiver.OnComplete = func(now time.Duration) { f.CompletedAt = now }
+	sconn.SetHandler(f.Sender.HandleAck)
+	rconn.SetHandler(f.Receiver.Handle)
+	return f
+}
+
 // NewFlow wires a sender on srcHost and a receiver on dstHost for a
-// size-byte transfer, registering both with the given demuxes.
+// size-byte transfer over the simulator backend, registering both
+// with the given demuxes.
 func NewFlow(sim *netsim.Simulator, cfg Config, id netsim.FlowID,
 	srcHost *netsim.Host, srcMux *Demux,
 	dstHost *netsim.Host, dstMux *Demux,
 	size int64, ctrl cc.Controller) *Flow {
 
-	f := &Flow{ID: id}
-	f.Sender = NewSender(sim, srcHost, cfg, id, dstHost.ID(), size, ctrl)
-	f.Receiver = NewReceiver(sim, dstHost, cfg, id, srcHost.ID(), size)
-	f.Receiver.OnComplete = func(now time.Duration) { f.CompletedAt = now }
-	srcMux.Register(id, f.Sender.HandleAck)
-	dstMux.Register(id, f.Receiver.Handle)
-	return f
+	sconn := simbackend.New(sim, srcHost, srcMux, dstHost.ID(), id)
+	rconn := simbackend.New(sim, dstHost, dstMux, srcHost.ID(), id)
+	return NewFlowOver(cfg, id, sconn, rconn, size, ctrl)
 }
 
 // StartAt schedules the flow to begin at virtual time at.

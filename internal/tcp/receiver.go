@@ -6,6 +6,7 @@ import (
 
 	"suss/internal/netsim"
 	"suss/internal/obs"
+	"suss/internal/wire"
 )
 
 // maxRecentSacks is how many recently-extended ranges the receiver
@@ -16,17 +17,23 @@ const maxRecentSacks = 8
 // with up to three SACK ranges, acknowledging every packet (or every
 // n-th with a delayed-ACK timer) and immediately on out-of-order data.
 //
-// The receive path is allocation-free in steady state: ACKs come from
-// the simulator's packet pool with SACK blocks filled into the inline
-// array, the range set is rebuilt through a double buffer (with an
-// in-place fast path for in-order arrivals), and SACK recency lives
-// in a fixed array.
+// The receive path is allocation-free in steady state: ACKs encode
+// from a per-receiver scratch segment with SACK blocks chosen into a
+// fixed array, the range set is rebuilt through a double buffer (with
+// an in-place fast path for in-order arrivals), and SACK recency
+// lives in a fixed array.
 type Receiver struct {
-	sim  *netsim.Simulator
-	host *netsim.Host
+	conn wire.Conn
+	sim  *netsim.Simulator // conn.Clock(), cached
 	cfg  Config
 	flow netsim.FlowID
-	peer netsim.NodeID
+
+	// ackSeg is the scratch segment sendAck encodes from.
+	ackSeg wire.Segment
+	// seqNear anchors the 32→64-bit unwrap of arriving sequence
+	// numbers: the highest unwrapped sequence seen, which every
+	// in-window wire value sits within ±2³¹ of.
+	seqNear int64
 
 	ranges []netsim.SackRange // sorted, disjoint received ranges
 	// rangesNext is the double-buffer half merge rebuilds into when
@@ -46,10 +53,10 @@ type Receiver struct {
 	size       int64
 	completed  bool
 
-	// OnData, when non-nil, observes every data arrival (tracing).
-	// The packet is pool-owned and released when Handle returns:
-	// observers must copy what they keep, never retain pkt.
-	OnData func(now time.Duration, pkt *netsim.Packet)
+	// OnData, when non-nil, observes every decoded data segment
+	// (tracing). seg is the conn's scratch storage, reused for the next
+	// frame: observers must copy what they keep, never retain seg.
+	OnData func(now time.Duration, seg *wire.Segment)
 
 	// rec, when non-nil, receives ground-truth duplicate-payload
 	// counters (the receiver-side complement of the sender's
@@ -70,12 +77,12 @@ type Receiver struct {
 // nil to detach.
 func (r *Receiver) AttachRecorder(rec *obs.FlowRecorder) { r.rec = rec }
 
-// NewReceiver creates a receiver for one flow terminating at host.
+// NewReceiver creates a receiver for one flow terminating at conn.
 // size is the expected stream length for completion detection (0
-// disables it). The caller must route the flow's data packets to
-// Handle (see Demux).
-func NewReceiver(sim *netsim.Simulator, host *netsim.Host, cfg Config, flow netsim.FlowID, peer netsim.NodeID, size int64) *Receiver {
-	return &Receiver{sim: sim, host: host, cfg: cfg, flow: flow, peer: peer, size: size}
+// disables it). The caller must install Handle as the conn's handler
+// (NewFlowOver does both).
+func NewReceiver(conn wire.Conn, cfg Config, flow netsim.FlowID, size int64) *Receiver {
+	return &Receiver{conn: conn, sim: conn.Clock(), cfg: cfg, flow: flow, size: size}
 }
 
 // CumAck returns the current cumulative acknowledgment point.
@@ -89,8 +96,11 @@ func (r *Receiver) CumAck() int64 {
 // Received returns the distinct payload bytes accepted so far.
 func (r *Receiver) Received() int64 { return r.received }
 
-// recvDelAckEv fires the delayed ACK without a per-arm closure.
-func recvDelAckEv(ctx, _ any) { ctx.(*Receiver).sendAck(nil) }
+// recvDelAckEv fires the delayed ACK without a per-arm closure. A
+// delayed ACK carries no timestamp echo (the trigger's departure time
+// is stale by up to the delack timeout; echoing it would corrupt the
+// sender's RTT estimate).
+func recvDelAckEv(ctx, _ any) { ctx.(*Receiver).sendAck(false, 0) }
 
 // recvRenegeEv is the reneging fault-injection tick.
 func recvRenegeEv(ctx, _ any) { ctx.(*Receiver).renegeTick() }
@@ -147,28 +157,43 @@ func (r *Receiver) renege() {
 	}
 }
 
-// Handle processes one data packet addressed to this flow and
-// releases it: the receiver is the segment's final owner, so callers
-// must not touch pkt afterwards.
-func (r *Receiver) Handle(pkt *netsim.Packet) {
-	defer pkt.Release()
-	if pkt.Kind != netsim.Data {
+// Handle processes one decoded data segment addressed to this flow.
+// It is the flow's wire.Handler: seg is the conn's scratch segment,
+// valid only for the duration of the call, and wireLen is the frame's
+// wire length for byte accounting. The 32-bit sequence number
+// unwraps against the receiver's high watermark here, at the
+// boundary; a value that unwraps below stream start is dropped as
+// garbage.
+func (r *Receiver) Handle(seg *wire.Segment, wireLen int) {
+	if !seg.IsData() {
 		return
 	}
-	if r.OnData != nil {
-		r.OnData(r.sim.Now(), pkt)
+	if o := r.rec; o != nil {
+		o.C.WireFramesIn++
+		o.C.WireBytesIn += int64(wireLen)
 	}
+	if r.OnData != nil {
+		r.OnData(r.sim.Now(), seg)
+	}
+	seq := wire.Unwrap32(r.seqNear, seg.Seq)
+	if seq < 0 {
+		return
+	}
+	if seq > r.seqNear {
+		r.seqNear = seq
+	}
+	segLen := int64(seg.PayloadLen)
 	prevCum := r.CumAck()
-	added := r.merge(pkt.Seq, pkt.Seq+pkt.Len)
+	added := r.merge(seq, seq+segLen)
 	r.received += added
 	newCum := r.CumAck()
 	if o := r.rec; o != nil {
 		o.C.RcvSegs++
-		if added < pkt.Len {
+		if added < segLen {
 			// Part of the payload was already held: a retransmission
 			// (or a spuriously resent segment) duplicated data.
 			o.C.RcvDupSegs++
-			o.C.RcvDupBytes += pkt.Len - added
+			o.C.RcvDupBytes += segLen - added
 		}
 	}
 
@@ -182,7 +207,7 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 	outOfOrder := newCum == prevCum || len(r.ranges) > 1
 	r.unacked++
 	if outOfOrder || r.unacked >= r.cfg.AckEvery {
-		r.sendAck(pkt)
+		r.sendAck(seg.HasTS, seg.TSVal)
 		return
 	}
 	// Withhold the ACK but bound the delay.
@@ -191,31 +216,43 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 	}
 }
 
-func (r *Receiver) sendAck(trigger *netsim.Packet) {
+// sendAck emits a cumulative ACK with SACK blocks. When echo is set
+// the ACK carries a timestamp option echoing tsecr (the triggering
+// segment's TSVal); option absence is how "no echo" travels the wire.
+func (r *Receiver) sendAck(echo bool, tsecr uint32) {
 	r.unacked = 0
 	r.delack.Stop()
-	// Pool-owned ACK: ownership transfers to the network at Send and
-	// the sender endpoint releases it.
-	ack := r.sim.Pool().Get()
-	ack.Flow = r.flow
-	ack.Kind = netsim.Ack
-	ack.Size = r.cfg.AckBytes
-	ack.Dst = r.peer
-	ack.CumAck = r.CumAck()
-	r.fillSackBlocks(ack)
-	if trigger != nil && trigger.HasEcho {
-		ack.EchoTS = trigger.EchoTS
-		ack.HasEcho = true
+	cum := r.CumAck()
+	a := &r.ackSeg
+	*a = wire.Segment{
+		SrcPort: uint16(r.flow),
+		DstPort: uint16(r.flow),
+		Ack:     uint32(cum),
+		Flags:   wire.FlagACK,
+		Window:  65535,
 	}
-	r.host.Send(ack)
+	r.fillSackBlocks(a, cum)
+	if echo {
+		a.HasTS = true
+		a.TSVal = wire.WrapTS(r.sim.Now())
+		a.TSEcr = tsecr
+	}
+	n := r.conn.Send(a, wire.SendMeta{WireSize: r.cfg.AckBytes})
+	if o := r.rec; o != nil {
+		o.C.WireFramesOut++
+		o.C.WireBytesOut += int64(n)
+	}
 }
 
 // fillSackBlocks writes up to netsim.MaxSack ranges above the
-// cumulative ACK into the packet's inline SACK array, most recently
-// changed first.
-func (r *Receiver) fillSackBlocks(ack *netsim.Packet) {
-	cum := ack.CumAck
-	for i := 0; i < r.nRecent && int(ack.NSack) < netsim.MaxSack; i++ {
+// cumulative ACK into the segment's SACK blocks, most recently
+// changed first. The cap matches what fits beside a timestamp option
+// (RFC 2018), and is held even on no-echo ACKs so the sender's view
+// does not depend on whether an ACK happened to carry a timestamp.
+func (r *Receiver) fillSackBlocks(a *wire.Segment, cum int64) {
+	var chosen [netsim.MaxSack]netsim.SackRange
+	n := 0
+	for i := 0; i < r.nRecent && n < netsim.MaxSack; i++ {
 		s := r.recent[i]
 		if s.End <= cum {
 			continue
@@ -226,15 +263,19 @@ func (r *Receiver) fillSackBlocks(ack *netsim.Packet) {
 			continue
 		}
 		dup := false
-		for _, o := range ack.SackRanges() {
+		for _, o := range chosen[:n] {
 			if o == cur {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			ack.AddSack(cur)
+			chosen[n] = cur
+			n++
 		}
+	}
+	for _, c := range chosen[:n] {
+		a.AddSack(wire.SackBlock{Start: uint32(c.Start), End: uint32(c.End)})
 	}
 }
 

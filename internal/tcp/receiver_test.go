@@ -5,22 +5,44 @@ import (
 	"time"
 
 	"suss/internal/netsim"
+	"suss/internal/wire"
+	"suss/internal/wire/simbackend"
 )
 
-// captureAcks wires a receiver whose ACKs are captured instead of
-// routed back through a sender.
+// segWireLen is the frame length Handle is told for a full-MSS test
+// segment (header + options; the exact value only feeds byte
+// counters).
+const segWireLen = 1500
+
+// wireReceiver builds a receiver attached through the simulator
+// backend, with the far host capturing its ACK packets instead of
+// routing them into a sender.
+func wireReceiver(sim *netsim.Simulator, p *netsim.Path, cfg Config, size int64) (*Receiver, *[]*netsim.Packet) {
+	var acks []*netsim.Packet
+	p.Sender.SetHandler(func(pkt *netsim.Packet) { acks = append(acks, pkt) })
+	conn := simbackend.New(sim, p.Receiver, NewDemux(p.Receiver), p.Sender.ID(), 1)
+	r := NewReceiver(conn, cfg, 1, size)
+	conn.SetHandler(r.Handle)
+	return r, &acks
+}
+
 func captureAcks(t *testing.T) (*netsim.Simulator, *Receiver, *[]*netsim.Packet) {
 	t.Helper()
 	sim := netsim.NewSimulator()
 	p := newTestPath(sim, 1e9, time.Millisecond, 4<<20)
-	var acks []*netsim.Packet
-	p.Sender.SetHandler(func(pkt *netsim.Packet) { acks = append(acks, pkt) })
-	r := NewReceiver(sim, p.Receiver, DefaultConfig(), 1, p.Sender.ID(), 0)
-	return sim, r, &acks
+	r, acks := wireReceiver(sim, p, DefaultConfig(), 0)
+	return sim, r, acks
 }
 
-func seg(seq int64) *netsim.Packet {
-	return &netsim.Packet{Kind: netsim.Data, Flow: 1, Seq: seq * 1448, Len: 1448, Size: 1500}
+// seg builds a decoded data segment the way the wire boundary hands
+// one to the receiver.
+func seg(seq int64) *wire.Segment {
+	return &wire.Segment{
+		Flags:      wire.FlagACK | wire.FlagPSH,
+		Window:     65535,
+		Seq:        uint32(seq * 1448),
+		PayloadLen: 1448,
+	}
 }
 
 func TestReceiverSACKBlockLimit(t *testing.T) {
@@ -29,19 +51,19 @@ func TestReceiverSACKBlockLimit(t *testing.T) {
 		// Four disjoint out-of-order islands: the ACK may carry at most
 		// three SACK ranges (RFC 2018).
 		for _, s := range []int64{2, 4, 6, 8} {
-			r.Handle(seg(s))
+			r.Handle(seg(s), segWireLen)
 		}
 	})
 	sim.RunAll()
 	last := (*acks)[len(*acks)-1]
-	if len(last.SACK) > 3 {
-		t.Fatalf("ACK carries %d SACK blocks, max is 3", len(last.SACK))
+	if last.NSack > 3 {
+		t.Fatalf("ACK carries %d SACK blocks, max is 3", last.NSack)
 	}
 	if last.CumAck != 0 {
 		t.Fatalf("cum ack %d, want 0 (nothing in order)", last.CumAck)
 	}
 	// The most recently received island must be the first block.
-	if len(last.SACK) == 0 || last.SACK[0].Start != 8*1448 {
+	if last.NSack == 0 || last.SACK[0].Start != 8*1448 {
 		t.Fatalf("first SACK block %v, want the freshest island (seq 8)", last.SACK)
 	}
 }
@@ -51,17 +73,15 @@ func TestReceiverImmediateAckOnGap(t *testing.T) {
 	// force an immediate ACK (dupack semantics).
 	sim := netsim.NewSimulator()
 	p := newTestPath(sim, 1e9, time.Millisecond, 4<<20)
-	var acks []*netsim.Packet
-	p.Sender.SetHandler(func(pkt *netsim.Packet) { acks = append(acks, pkt) })
 	cfg := DefaultConfig()
 	cfg.AckEvery = 4
-	r := NewReceiver(sim, p.Receiver, cfg, 1, p.Sender.ID(), 0)
+	r, acks := wireReceiver(sim, p, cfg, 0)
 	sim.Schedule(0, func() {
-		r.Handle(seg(0)) // in-order: withheld (1 of 4)
-		r.Handle(seg(2)) // gap! must ACK immediately
+		r.Handle(seg(0), segWireLen) // in-order: withheld (1 of 4)
+		r.Handle(seg(2), segWireLen) // gap! must ACK immediately
 	})
 	sim.Run(10 * time.Millisecond)
-	if len(acks) == 0 {
+	if len(*acks) == 0 {
 		t.Fatal("no immediate ACK on out-of-order arrival")
 	}
 }
@@ -78,8 +98,9 @@ func TestReceiverDelAckTimeout(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.AckEvery = 2
 	cfg.DelAckTimeout = 40 * time.Millisecond
-	r := NewReceiver(sim, p.Receiver, cfg, 1, p.Sender.ID(), 0)
-	sim.Schedule(0, func() { r.Handle(seg(0)) }) // single packet, withheld
+	conn := simbackend.New(sim, p.Receiver, NewDemux(p.Receiver), p.Sender.ID(), 1)
+	r := NewReceiver(conn, cfg, 1, 0)
+	sim.Schedule(0, func() { r.Handle(seg(0), segWireLen) }) // single packet, withheld
 	sim.Run(time.Second)
 	if len(acks) != 1 {
 		t.Fatalf("acks = %d, want exactly 1 (delack timer)", len(acks))
@@ -96,10 +117,10 @@ func TestReceiverDelAckTimeout(t *testing.T) {
 func TestReceiverDuplicateDataNotDoubleCounted(t *testing.T) {
 	sim, r, _ := captureAcks(t)
 	sim.Schedule(0, func() {
-		r.Handle(seg(0))
-		r.Handle(seg(0)) // duplicate
-		r.Handle(seg(1))
-		r.Handle(seg(1)) // duplicate
+		r.Handle(seg(0), segWireLen)
+		r.Handle(seg(0), segWireLen) // duplicate
+		r.Handle(seg(1), segWireLen)
+		r.Handle(seg(1), segWireLen) // duplicate
 	})
 	sim.RunAll()
 	if got := r.Received(); got != 2*1448 {
@@ -113,14 +134,13 @@ func TestReceiverDuplicateDataNotDoubleCounted(t *testing.T) {
 func TestReceiverCompletionFiresOnce(t *testing.T) {
 	sim := netsim.NewSimulator()
 	p := newTestPath(sim, 1e9, time.Millisecond, 4<<20)
-	p.Sender.SetHandler(func(*netsim.Packet) {})
-	r := NewReceiver(sim, p.Receiver, DefaultConfig(), 1, p.Sender.ID(), 2*1448)
+	r, _ := wireReceiver(sim, p, DefaultConfig(), 2*1448)
 	fired := 0
 	r.OnComplete = func(time.Duration) { fired++ }
 	sim.Schedule(0, func() {
-		r.Handle(seg(0))
-		r.Handle(seg(1))
-		r.Handle(seg(1)) // extra duplicate after completion
+		r.Handle(seg(0), segWireLen)
+		r.Handle(seg(1), segWireLen)
+		r.Handle(seg(1), segWireLen) // extra duplicate after completion
 	})
 	sim.RunAll()
 	if fired != 1 {
@@ -130,20 +150,20 @@ func TestReceiverCompletionFiresOnce(t *testing.T) {
 
 func TestReceiverEchoOnlyFromFreshData(t *testing.T) {
 	sim, r, acks := captureAcks(t)
-	sim.Schedule(0, func() {
+	at := 5 * time.Millisecond
+	sim.Schedule(at, func() {
 		fresh := seg(0)
-		fresh.HasEcho = true
-		fresh.EchoTS = 5 * time.Millisecond
-		r.Handle(fresh)
-		retrans := seg(1)
-		retrans.Retrans = true // sender cleared the echo per Karn
-		r.Handle(retrans)
+		fresh.HasTS = true // fresh transmissions carry a timestamp
+		fresh.TSVal = wire.WrapTS(at)
+		r.Handle(fresh, segWireLen)
+		retrans := seg(1) // no timestamp option: Karn's rule on the wire
+		r.Handle(retrans, segWireLen)
 	})
 	sim.RunAll()
 	if len(*acks) != 2 {
 		t.Fatalf("acks = %d", len(*acks))
 	}
-	if !(*acks)[0].HasEcho || (*acks)[0].EchoTS != 5*time.Millisecond {
+	if !(*acks)[0].HasEcho || (*acks)[0].EchoTS != at {
 		t.Error("fresh data's echo not reflected")
 	}
 	if (*acks)[1].HasEcho {

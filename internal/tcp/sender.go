@@ -8,6 +8,7 @@ import (
 	"suss/internal/cc"
 	"suss/internal/netsim"
 	"suss/internal/obs"
+	"suss/internal/wire"
 )
 
 // ErrRetransLimit is the terminal flow error when Config.MaxConsecRTOs
@@ -57,15 +58,23 @@ type EarliestSender interface {
 	EarliestSend(now time.Duration) time.Duration
 }
 
-// Sender drives one bulk flow of size bytes toward peer, under the
-// congestion controller ctrl. It implements cc.Env for the controller.
+// Sender drives one bulk flow of size bytes through a wire.Conn,
+// under the congestion controller ctrl. It implements cc.Env for the
+// controller. Every segment it emits is encoded to frame bytes by the
+// conn's backend, and every ACK it processes arrives as a strictly
+// decoded wire.Segment — the sender's view of its peer is exactly
+// what survives the framing, on the simulator and on a real socket
+// alike.
 type Sender struct {
-	sim  *netsim.Simulator
-	host *netsim.Host
+	conn wire.Conn
+	sim  *netsim.Simulator // conn.Clock(), cached: every timer lives here
 	cfg  Config
 	flow netsim.FlowID
-	peer netsim.NodeID
 	ctrl cc.Controller
+
+	// wireSeg is the scratch segment emit encodes from; reusing it
+	// keeps the send path allocation-free.
+	wireSeg wire.Segment
 
 	size   int64
 	sndUna int64
@@ -146,15 +155,15 @@ type Sender struct {
 	OnAckTrace func(now time.Duration, cwnd int64, srtt time.Duration, delivered int64)
 }
 
-// NewSender creates a sender for one flow originating at host.
-// The caller must route the flow's ACKs to HandleAck (see Demux).
-func NewSender(sim *netsim.Simulator, host *netsim.Host, cfg Config, flow netsim.FlowID, peer netsim.NodeID, size int64, ctrl cc.Controller) *Sender {
+// NewSender creates a sender for one flow transmitting through conn.
+// The caller must install HandleAck as the conn's handler (NewFlowOver
+// does both).
+func NewSender(conn wire.Conn, cfg Config, flow netsim.FlowID, size int64, ctrl cc.Controller) *Sender {
 	return &Sender{
-		sim:   sim,
-		host:  host,
+		conn:  conn,
+		sim:   conn.Clock(),
 		cfg:   cfg,
 		flow:  flow,
-		peer:  peer,
 		ctrl:  ctrl,
 		size:  size,
 		state: make(map[int64]segInfo),
@@ -341,20 +350,17 @@ func (s *Sender) armKick(d time.Duration) {
 
 func (s *Sender) emit(seg, l int64, retrans bool) {
 	now := s.sim.Now()
-	// Pool-owned segment: ownership transfers to the network at
-	// host.Send, and the receiving endpoint (or a dropping link)
-	// releases it.
-	pkt := s.sim.Pool().Get()
-	pkt.Flow = s.flow
-	pkt.Kind = netsim.Data
-	pkt.Size = int(l) + s.cfg.HeaderBytes
-	pkt.Dst = s.peer
-	pkt.Seq = seg
-	pkt.Len = l
-	pkt.SentAt = now
+	ws := &s.wireSeg
+	*ws = wire.Segment{
+		SrcPort:    uint16(s.flow),
+		DstPort:    uint16(s.flow),
+		Seq:        uint32(seg),
+		Flags:      wire.FlagACK | wire.FlagPSH,
+		Window:     65535,
+		PayloadLen: int(l),
+	}
 	var cause uint8
 	if retrans {
-		pkt.Retrans = true
 		cause = s.state[seg].lostBy
 		s.removeFromLostQueue(seg)
 		s.state[seg] = segInfo{st: stRetransInFlight, sentAt: now, delivAtSend: s.delivered, retrans: true}
@@ -363,9 +369,11 @@ func (s *Sender) emit(seg, l int64, retrans bool) {
 		}
 		s.stats.Retransmissions++
 	} else {
-		// Karn's rule: only fresh transmissions carry an RTT echo.
-		pkt.EchoTS = now
-		pkt.HasEcho = true
+		// Karn's rule: only fresh transmissions carry a timestamp for the
+		// receiver to echo — the option's presence is the echo-validity
+		// signal on the wire, so retransmissions omit it entirely.
+		ws.HasTS = true
+		ws.TSVal = wire.WrapTS(now)
 		s.state[seg] = segInfo{st: stInflight, sentAt: now, delivAtSend: s.delivered}
 		s.sndNxt = seg + l
 	}
@@ -392,25 +400,41 @@ func (s *Sender) emit(seg, l int64, retrans bool) {
 		}
 	}
 	s.ctrl.OnPacketSent(now, int(l), seg, retrans)
-	s.host.Send(pkt)
+	n := s.conn.Send(ws, wire.SendMeta{WireSize: int(l) + s.cfg.HeaderBytes, Retrans: retrans})
+	if r := s.rec; r != nil {
+		r.C.WireFramesOut++
+		r.C.WireBytesOut += int64(n)
+	}
 	s.armRTO()
 }
 
 // --- acknowledgment processing ---
 
-// HandleAck processes one ACK packet addressed to this flow and
-// releases it: the sender is the ACK's final owner, so callers must
-// not touch pkt afterwards.
-func (s *Sender) HandleAck(pkt *netsim.Packet) {
-	defer pkt.Release()
-	if pkt.Kind != netsim.Ack || s.finished || s.failed || !s.started {
+// HandleAck processes one decoded ACK segment addressed to this flow.
+// It is the flow's wire.Handler: seg is the conn's scratch segment,
+// valid only for the duration of the call, and wireLen is the frame's
+// wire length for byte accounting. The 32-bit wire fields are
+// unwrapped against the sender's 64-bit state here, at the boundary,
+// so everything below speaks full sequence numbers.
+func (s *Sender) HandleAck(seg *wire.Segment, wireLen int) {
+	if seg.IsData() || seg.Flags&wire.FlagACK == 0 || s.finished || s.failed || !s.started {
 		return
 	}
 	now := s.sim.Now()
+	if r := s.rec; r != nil {
+		r.C.WireFramesIn++
+		r.C.WireBytesIn += int64(wireLen)
+	}
+	cumAck := wire.Unwrap32(s.sndUna, seg.Ack)
+	hasEcho := seg.HasTS
+	var echoTS time.Duration
+	if hasEcho {
+		echoTS = wire.UnwrapTS(now, seg.TSEcr)
+	}
 
 	var sample time.Duration
-	if pkt.HasEcho {
-		sample = now - pkt.EchoTS
+	if hasEcho {
+		sample = now - echoTS
 		s.rtt.Update(sample)
 		s.minRTT.Update(sample, now)
 	}
@@ -421,9 +445,9 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 	// fresh transmissions carry echoes (Karn's rule), so a pre-frtoAt
 	// echo cannot have come from anything the timeout retransmitted.
 	if s.frtoPending {
-		if pkt.HasEcho && pkt.EchoTS < s.frtoAt && pkt.CumAck > s.frtoUna {
+		if hasEcho && echoTS < s.frtoAt && cumAck > s.frtoUna {
 			s.undoRTO(now)
-		} else if pkt.CumAck >= s.frtoNxt {
+		} else if cumAck >= s.frtoNxt {
 			// The whole pre-timeout window was acked without proof of
 			// spuriousness; the question is moot.
 			s.frtoPending = false
@@ -434,8 +458,8 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 	var bwSample float64 // freshest delivery-rate sample, bits/sec
 
 	// Cumulative advance.
-	if pkt.CumAck > s.sndUna {
-		for seg := segStart(s.sndUna, s.cfg.MSS); seg < pkt.CumAck; seg += int64(s.cfg.MSS) {
+	if cumAck > s.sndUna {
+		for seg := segStart(s.sndUna, s.cfg.MSS); seg < cumAck; seg += int64(s.cfg.MSS) {
 			info, ok := s.state[seg]
 			if !ok {
 				continue
@@ -464,7 +488,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 			}
 			delete(s.state, seg)
 		}
-		s.sndUna = pkt.CumAck
+		s.sndUna = cumAck
 		for len(s.sackedIv) > 0 && s.sackedIv[0].End <= s.sndUna {
 			s.sackedIv = s.sackedIv[1:]
 		}
@@ -481,8 +505,13 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 
 	// Selective acknowledgments: process only the parts of each block
 	// not already known (blocks re-announce whole contiguous ranges on
-	// every ACK; rescanning them is quadratic).
-	for _, r := range pkt.SackRanges() {
+	// every ACK; rescanning them is quadratic). Blocks unwrap near
+	// sndUna — any in-window value is within ±2³¹ of it, so the
+	// recovery is exact; garbage blocks from a hostile peer unwrap to
+	// ranges the clamps below neutralize.
+	for _, b := range seg.SackBlocks() {
+		r := netsim.SackRange{Start: wire.Unwrap32(s.sndUna, b.Start)}
+		r.End = wire.Unwrap32(r.Start, b.End)
 		if r.Start < s.sndUna {
 			r.Start = s.sndUna
 		}
@@ -538,10 +567,10 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 
 	if r := s.rec; r != nil {
 		r.C.AcksSeen++
-		r.Record(now, obs.EvAckRecvd, pkt.CumAck, newBytes, s.inflight, 0)
-		if pkt.NSack > 0 {
-			r.C.SackRanges += int64(pkt.NSack)
-			r.Record(now, obs.EvSackRecvd, pkt.CumAck, 0, int64(pkt.NSack), 0)
+		r.Record(now, obs.EvAckRecvd, cumAck, newBytes, s.inflight, 0)
+		if seg.NSack > 0 {
+			r.C.SackRanges += int64(seg.NSack)
+			r.Record(now, obs.EvSackRecvd, cumAck, 0, int64(seg.NSack), 0)
 		}
 	}
 

@@ -8,6 +8,8 @@ import (
 
 	"suss/internal/cc"
 	"suss/internal/netsim"
+	"suss/internal/wire"
+	"suss/internal/wire/simbackend"
 )
 
 // fixedCC is a window-only stub controller for exercising the
@@ -177,8 +179,8 @@ func TestPacingSpacesSends(t *testing.T) {
 	ctrl := &fixedCC{cwnd: 1 << 20, pace: 1e7}
 	f := NewFlow(sim, cfg, 1, p.Sender, NewDemux(p.Sender), p.Receiver, NewDemux(p.Receiver), 256<<10, ctrl)
 	var sendTimes []time.Duration
-	f.Receiver.OnData = func(now time.Duration, pkt *netsim.Packet) {
-		sendTimes = append(sendTimes, pkt.SentAt)
+	f.Receiver.OnData = func(now time.Duration, seg *wire.Segment) {
+		sendTimes = append(sendTimes, wire.UnwrapTS(now, seg.TSVal))
 	}
 	f.StartAt(sim, 0)
 	sim.Run(time.Minute)
@@ -221,8 +223,9 @@ func TestReceiverMergeProperty(t *testing.T) {
 		sim := netsim.NewSimulator()
 		p := newTestPath(sim, 1e8, time.Millisecond, 4<<20)
 		cfg := DefaultConfig()
-		r := NewReceiver(sim, p.Receiver, cfg, 1, p.Sender.ID(), 0)
-		p.Sender.SetHandler(func(*netsim.Packet) {}) // swallow ACKs
+		conn := simbackend.New(sim, p.Receiver, NewDemux(p.Receiver), p.Sender.ID(), 1)
+		r := NewReceiver(conn, cfg, 1, 0)
+		p.Sender.SetHandler(func(pkt *netsim.Packet) { pkt.Release() }) // swallow ACKs
 
 		size := int64(rng.Intn(100)+1) * int64(cfg.MSS)
 		var segs []int64
@@ -240,7 +243,12 @@ func TestReceiverMergeProperty(t *testing.T) {
 				if s+l > size {
 					l = size - s
 				}
-				r.Handle(&netsim.Packet{Kind: netsim.Data, Flow: 1, Seq: s, Len: l, Size: int(l) + cfg.HeaderBytes})
+				r.Handle(&wire.Segment{
+					Flags:      wire.FlagACK | wire.FlagPSH,
+					Window:     65535,
+					Seq:        uint32(s),
+					PayloadLen: int(l),
+				}, int(l)+cfg.HeaderBytes)
 			}
 		})
 		sim.RunAll()

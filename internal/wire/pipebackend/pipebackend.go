@@ -1,0 +1,260 @@
+// Package pipebackend carries wire frames between two in-process
+// endpoints, each owned by its own real-time reactor (rtclock): two
+// goroutines exchanging encoded TCP segments through channels, the
+// closest in-memory analogue of two hosts on a cable. The transport
+// endpoints run unmodified on top — their timers are virtual events
+// that the reactors fire at wall-clock pace — which makes this the
+// backend the race detector exercises end to end.
+//
+// The path model is deliberately small: a one-way propagation delay,
+// an optional serialization rate, and an optional netsim.Impairments
+// pipeline judged per frame at the sending edge (the same stages the
+// simulator links run, reused at the wire layer). Frames carry real
+// payload bytes — the encoder's header followed by a zero-filled
+// payload — so the peer decodes full frames, not header-only ones.
+package pipebackend
+
+import (
+	"fmt"
+	"time"
+
+	"suss/internal/netsim"
+	"suss/internal/wire"
+	"suss/internal/wire/rtclock"
+)
+
+// Config shapes the pipe's path.
+type Config struct {
+	// Delay is the one-way propagation delay (each direction).
+	Delay time.Duration
+	// Rate, when positive, serializes frames at this many bits/s
+	// through a FIFO at the sending edge.
+	Rate float64
+	// ImpairA2B and ImpairB2A, when non-nil, judge every frame at the
+	// respective sending edge (A→B carries the data direction under
+	// FlowConns, B→A the ACKs). Stages see a synthesized packet
+	// carrying the same annotations a simulator link would (kind, seq,
+	// cumack, wire size), so loss and delay models behave identically
+	// here and in pure simulation. The two directions take separate
+	// pipelines because each runs on its owner's goroutine — never
+	// share one RNG-bearing stage between them.
+	ImpairA2B, ImpairB2A *netsim.Impairments
+}
+
+// Stats counts wire-layer traffic on one endpoint.
+type Stats struct {
+	FramesOut, FramesIn int64
+	BytesOut, BytesIn   int64
+	// ImpairDrops counts frames the impairment pipeline erased.
+	ImpairDrops int64
+	// DecodeDrops counts arriving frames the strict decoder rejected.
+	DecodeDrops int64
+}
+
+// Endpoint is one end of the pipe: a reactor, its conns, and the
+// sending-edge serializer state.
+type Endpoint struct {
+	r      *rtclock.Reactor
+	cfg    Config
+	addr   uint32
+	peer   *Endpoint
+	impair *netsim.Impairments
+
+	// Reactor-goroutine-only state.
+	conns     map[netsim.FlowID]*Conn
+	busyUntil time.Duration
+	scratch   wire.Segment
+	judge     netsim.Packet
+	stats     Stats
+}
+
+// Reactor returns the endpoint's reactor, the door to everything the
+// endpoint owns (flow construction, starting senders, reading state).
+func (ep *Endpoint) Reactor() *rtclock.Reactor { return ep.r }
+
+// Stats snapshots the endpoint's wire counters (synchronized via the
+// reactor).
+func (ep *Endpoint) Stats() Stats {
+	var st Stats
+	ep.r.DoWait(func() { st = ep.stats })
+	return st
+}
+
+// Conn implements wire.Conn for one flow on one endpoint.
+type Conn struct {
+	ep   *Endpoint
+	flow netsim.FlowID
+	h    wire.Handler
+
+	seqNear, ackNear int64
+}
+
+// Backend is a bidirectional in-memory pipe implementing
+// wire.Backend. End A holds the flows' senders, end B the receivers.
+type Backend struct {
+	cfg  Config
+	a, b *Endpoint
+}
+
+// New builds the pipe and starts both reactors.
+func New(cfg Config) *Backend {
+	epoch := time.Now()
+	a := &Endpoint{r: rtclock.New(epoch), cfg: cfg, addr: 0x0A000001,
+		impair: cfg.ImpairA2B, conns: make(map[netsim.FlowID]*Conn)}
+	b := &Endpoint{r: rtclock.New(epoch), cfg: cfg, addr: 0x0A000002,
+		impair: cfg.ImpairB2A, conns: make(map[netsim.FlowID]*Conn)}
+	a.peer, b.peer = b, a
+	return &Backend{cfg: cfg, a: a, b: b}
+}
+
+// Name implements wire.Backend.
+func (p *Backend) Name() string { return "pipe" }
+
+// A returns the sender-side endpoint, B the receiver-side one.
+func (p *Backend) A() *Endpoint { return p.a }
+
+// B returns the receiver-side endpoint.
+func (p *Backend) B() *Endpoint { return p.b }
+
+// FlowConns implements wire.Backend.
+func (p *Backend) FlowConns(id netsim.FlowID) (snd, rcv wire.Conn, err error) {
+	if uint32(id) > 0xFFFF {
+		return nil, nil, fmt.Errorf("pipebackend: flow id %d does not fit a port", id)
+	}
+	return p.a.attach(id), p.b.attach(id), nil
+}
+
+// Close stops both reactors. In-flight frames and timers die with
+// them.
+func (p *Backend) Close() error {
+	p.a.r.Close()
+	p.b.r.Close()
+	return nil
+}
+
+func (ep *Endpoint) attach(id netsim.FlowID) *Conn {
+	c := &Conn{ep: ep, flow: id}
+	ep.r.DoWait(func() { ep.conns[id] = c })
+	return c
+}
+
+// Clock implements wire.Conn.
+func (c *Conn) Clock() *netsim.Simulator { return c.ep.r.Sim() }
+
+// SetHandler implements wire.Conn (synchronized via the reactor).
+func (c *Conn) SetHandler(h wire.Handler) {
+	c.ep.r.DoWait(func() { c.h = h })
+}
+
+// Close implements wire.Conn.
+func (c *Conn) Close() error {
+	c.ep.r.DoWait(func() {
+		c.h = nil
+		delete(c.ep.conns, c.flow)
+	})
+	return nil
+}
+
+// Send implements wire.Conn. It must run on the endpoint's reactor
+// goroutine (transport endpoints always send from event callbacks,
+// which do). The frame materializes real bytes: the encoded header
+// followed by seg.PayloadLen zeros when the segment carries virtual
+// payload.
+func (c *Conn) Send(seg *wire.Segment, meta wire.SendMeta) int {
+	ep := c.ep
+	sim := ep.r.Sim()
+	now := sim.Now()
+	seg.SrcAddr, seg.DstAddr = ep.addr, ep.peer.addr
+
+	buf := make([]byte, wire.MaxHeaderLen+seg.PayloadLen)
+	n, err := wire.EncodeSegment(buf, seg)
+	if err != nil {
+		panic(fmt.Sprintf("pipebackend: encode: %v", err))
+	}
+	frame := buf[:n] // unwritten payload tail is already zero
+	ep.stats.FramesOut++
+	ep.stats.BytesOut += int64(n)
+
+	var extra, dupExtra time.Duration
+	dup := false
+	if ep.impair != nil {
+		v := ep.impair.Judge(now, c.annotate(seg, meta, n, now))
+		if v.Drop {
+			ep.stats.ImpairDrops++
+			return n // erased on the wire; the sender already paid for it
+		}
+		extra = v.ExtraDelay
+		if extra < 0 {
+			extra = 0
+		}
+		dup, dupExtra = v.Duplicate, v.DupExtraDelay
+	}
+
+	txStart := now
+	if ep.busyUntil > txStart {
+		txStart = ep.busyUntil
+	}
+	var ser time.Duration
+	if ep.cfg.Rate > 0 {
+		ser = time.Duration(float64(n*8) / ep.cfg.Rate * float64(time.Second))
+	}
+	ep.busyUntil = txStart + ser
+	arrive := ep.busyUntil + ep.cfg.Delay + extra
+	ep.sendToPeer(frame, arrive)
+	if dup {
+		ep.sendToPeer(frame, arrive+dupExtra) // frames are immutable once sent
+	}
+	return n
+}
+
+// annotate fills the endpoint's scratch packet with the simulator
+// annotations impairment stages match on.
+func (c *Conn) annotate(seg *wire.Segment, meta wire.SendMeta, n int, now time.Duration) *netsim.Packet {
+	pkt := &c.ep.judge
+	*pkt = netsim.Packet{Flow: c.flow, SentAt: now, Retrans: meta.Retrans}
+	if meta.WireSize > 0 {
+		pkt.Size = meta.WireSize
+	} else {
+		pkt.Size = n
+	}
+	if seg.IsData() {
+		pkt.Kind = netsim.Data
+		c.seqNear = wire.Unwrap32(c.seqNear, seg.Seq)
+		pkt.Seq = c.seqNear
+		pkt.Len = int64(seg.PayloadLen)
+	} else {
+		pkt.Kind = netsim.Ack
+		c.ackNear = wire.Unwrap32(c.ackNear, seg.Ack)
+		pkt.CumAck = c.ackNear
+	}
+	return pkt
+}
+
+// sendToPeer hands the frame to the peer reactor for delivery at
+// virtual time at (the reactors share an epoch, so clocks compare).
+func (ep *Endpoint) sendToPeer(frame []byte, at time.Duration) {
+	p := ep.peer
+	p.r.Do(func() {
+		sim := p.r.Sim()
+		if at <= sim.Now() {
+			p.deliver(frame)
+			return
+		}
+		sim.ScheduleAt(at, func() { p.deliver(frame) })
+	})
+}
+
+func (ep *Endpoint) deliver(frame []byte) {
+	n, err := wire.DecodeSegment(frame, &ep.scratch)
+	if err != nil {
+		ep.stats.DecodeDrops++
+		return
+	}
+	ep.stats.FramesIn++
+	ep.stats.BytesIn += int64(n)
+	c := ep.conns[netsim.FlowID(ep.scratch.DstPort)]
+	if c == nil || c.h == nil {
+		return
+	}
+	c.h(&ep.scratch, n)
+}

@@ -1,0 +1,83 @@
+package rtclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTimerFiresAtWallPace is the package's core promise: an event
+// scheduled d virtual time out fires ≈d wall time later.
+func TestTimerFiresAtWallPace(t *testing.T) {
+	r := New(time.Now())
+	defer r.Close()
+
+	const d = 60 * time.Millisecond
+	fired := make(chan time.Duration, 1)
+	start := time.Now()
+	r.DoWait(func() {
+		sim := r.Sim()
+		sim.Schedule(d, func() { fired <- time.Since(start) })
+	})
+	select {
+	case elapsed := <-fired:
+		if elapsed < d || elapsed > d+150*time.Millisecond {
+			t.Fatalf("timer fired after %v wall time, want ≈%v", elapsed, d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+// TestClockPinnedToWall checks Now() tracks the wall clock even with
+// an empty event queue (the no-op pin in advance).
+func TestClockPinnedToWall(t *testing.T) {
+	epoch := time.Now()
+	r := New(epoch)
+	defer r.Close()
+
+	time.Sleep(30 * time.Millisecond)
+	var now time.Duration
+	r.DoWait(func() { now = r.Sim().Now() })
+	wall := time.Since(epoch)
+	if now < 30*time.Millisecond || now > wall {
+		t.Fatalf("virtual now %v outside (30ms, wall %v]", now, wall)
+	}
+}
+
+// TestDoOrdering: funcs submitted from one goroutine run in order.
+func TestDoOrdering(t *testing.T) {
+	r := New(time.Now())
+	defer r.Close()
+
+	var seq atomic.Int64
+	for i := int64(1); i <= 100; i++ {
+		want := i
+		r.Do(func() {
+			if got := seq.Add(1); got != want {
+				t.Errorf("func %d ran as %d", want, got)
+			}
+		})
+	}
+	r.DoWait(func() {})
+	if seq.Load() != 100 {
+		t.Fatalf("ran %d funcs, want 100", seq.Load())
+	}
+}
+
+// TestCloseUnblocksWaiters: DoWait on a closed reactor returns instead
+// of hanging.
+func TestCloseUnblocksWaiters(t *testing.T) {
+	r := New(time.Now())
+	r.Close()
+	done := make(chan struct{})
+	go func() {
+		r.DoWait(func() {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("DoWait hung on a closed reactor")
+	}
+}

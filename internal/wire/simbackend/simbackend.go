@@ -1,0 +1,199 @@
+// Package simbackend attaches wire.Conn endpoints to the
+// deterministic simulator: every segment an endpoint sends is encoded
+// into the frame buffer of a pooled netsim.Packet, travels the
+// simulated topology as bytes-plus-accounting, and is strictly
+// decoded back at the far host before the receiving endpoint sees it.
+// The transport therefore exercises the real framing even in pure
+// simulation, while the network layer keeps the modeled wire sizes
+// (Config.HeaderBytes/AckBytes) that the pinned figure outputs were
+// produced with.
+//
+// The hot path allocates nothing: frames encode into the packet's
+// inline buffer, decode lands in a per-conn scratch Segment, and the
+// header annotation fields links and recorders read (Seq, CumAck,
+// EchoTS…) are reconstructed from the same wire values the far end
+// will decode.
+package simbackend
+
+import (
+	"fmt"
+
+	"suss/internal/netsim"
+	"suss/internal/wire"
+)
+
+// The packet's inline frame buffer must hold any header-only frame
+// the codec can emit.
+var _ [netsim.MaxFrameLen - wire.MaxHeaderLen]struct{}
+
+// Demux dispatches packets delivered to a host among the flows
+// terminating there, so several flows can share one host (the paper's
+// Fig. 16 workload reuses client-server pairs for sequential flows).
+type Demux struct {
+	handlers map[netsim.FlowID]func(*netsim.Packet)
+}
+
+// NewDemux installs a demultiplexer as the host's packet handler.
+// Ownership: packets routed to a registered flow are consumed (and
+// released) by that flow's endpoint; packets for unregistered flows
+// are released here, so no pooled packet leaks.
+func NewDemux(host *netsim.Host) *Demux {
+	d := &Demux{handlers: make(map[netsim.FlowID]func(*netsim.Packet))}
+	host.SetHandler(func(pkt *netsim.Packet) {
+		if fn, ok := d.handlers[pkt.Flow]; ok {
+			fn(pkt)
+		} else {
+			pkt.Release()
+		}
+	})
+	return d
+}
+
+// Register routes packets of flow id to fn, replacing any previous
+// registration.
+func (d *Demux) Register(id netsim.FlowID, fn func(*netsim.Packet)) {
+	d.handlers[id] = fn
+}
+
+// Unregister removes a flow's handler.
+func (d *Demux) Unregister(id netsim.FlowID) { delete(d.handlers, id) }
+
+// Conn is one endpoint's attachment to the simulated network,
+// implementing wire.Conn for a single flow terminating at host.
+type Conn struct {
+	sim  *netsim.Simulator
+	host *netsim.Host
+	mux  *Demux
+	peer netsim.NodeID
+	flow netsim.FlowID
+
+	h       wire.Handler
+	scratch wire.Segment
+
+	// seqNear/ackNear anchor the 32→64-bit unwrap of outgoing wire
+	// values when reconstructing the packet annotation fields.
+	seqNear, ackNear int64
+}
+
+// New attaches a conn for flow to host, delivering to peer. The
+// conn's incoming frames are routed through mux once a handler is
+// set.
+func New(sim *netsim.Simulator, host *netsim.Host, mux *Demux, peer netsim.NodeID, flow netsim.FlowID) *Conn {
+	return &Conn{sim: sim, host: host, mux: mux, peer: peer, flow: flow}
+}
+
+// Clock implements wire.Conn.
+func (c *Conn) Clock() *netsim.Simulator { return c.sim }
+
+// nodeAddr maps a simulator node ID into 10.0.0.0/8 for the frame's
+// IP header.
+func nodeAddr(id netsim.NodeID) uint32 { return 0x0A000000 | uint32(id)&0x00FFFFFF }
+
+// Send implements wire.Conn: it encodes seg into a pooled packet's
+// inline frame buffer and hands the packet to the host. Payload bytes
+// are virtual in the simulator, so seg.Payload must be nil — the
+// frame is header-only while its IP total length covers the payload.
+// The packet's annotation fields (the ones links, impairment stages
+// and recorders read) are reconstructed from the same wire values the
+// receiving endpoint will decode.
+func (c *Conn) Send(seg *wire.Segment, meta wire.SendMeta) int {
+	if seg.Payload != nil {
+		panic("simbackend: payload bytes are virtual in the simulator; seg.Payload must be nil")
+	}
+	seg.SrcAddr = nodeAddr(c.host.ID())
+	seg.DstAddr = nodeAddr(c.peer)
+	pkt := c.sim.Pool().Get()
+	n, err := wire.EncodeSegment(pkt.FrameBuf(), seg)
+	if err != nil {
+		pkt.Release()
+		panic(fmt.Sprintf("simbackend: encode: %v", err))
+	}
+	pkt.SetFrameLen(n - seg.PayloadLen)
+	now := c.sim.Now()
+	pkt.Flow = c.flow
+	pkt.Dst = c.peer
+	pkt.SentAt = now
+	pkt.Retrans = meta.Retrans
+	if meta.WireSize > 0 {
+		pkt.Size = meta.WireSize
+	} else {
+		pkt.Size = n
+	}
+	if seg.IsData() {
+		pkt.Kind = netsim.Data
+		c.seqNear = wire.Unwrap32(c.seqNear, seg.Seq)
+		pkt.Seq = c.seqNear
+		pkt.Len = int64(seg.PayloadLen)
+		if seg.HasTS {
+			pkt.EchoTS = wire.UnwrapTS(now, seg.TSVal)
+			pkt.HasEcho = true
+		}
+	} else {
+		pkt.Kind = netsim.Ack
+		c.ackNear = wire.Unwrap32(c.ackNear, seg.Ack)
+		pkt.CumAck = c.ackNear
+		for _, b := range seg.SackBlocks() {
+			st := wire.Unwrap32(pkt.CumAck, b.Start)
+			if !pkt.AddSack(netsim.SackRange{Start: st, End: wire.Unwrap32(st, b.End)}) {
+				break // the encoder truncated the wire copy identically
+			}
+		}
+		if seg.HasTS {
+			pkt.EchoTS = wire.UnwrapTS(now, seg.TSEcr)
+			pkt.HasEcho = true
+		}
+	}
+	c.host.Send(pkt)
+	return n
+}
+
+// SetHandler implements wire.Conn, routing the flow's packets through
+// the demux into a strict decode; frames that fail it are dropped the
+// way a NIC drops a checksum failure. Passing nil detaches the flow.
+func (c *Conn) SetHandler(h wire.Handler) {
+	c.h = h
+	if h == nil {
+		c.mux.Unregister(c.flow)
+		return
+	}
+	c.mux.Register(c.flow, c.deliver)
+}
+
+func (c *Conn) deliver(pkt *netsim.Packet) {
+	defer pkt.Release()
+	n, err := wire.DecodeSegment(pkt.Frame(), &c.scratch)
+	if err != nil {
+		return
+	}
+	c.h(&c.scratch, n)
+}
+
+// Close implements wire.Conn.
+func (c *Conn) Close() error {
+	c.mux.Unregister(c.flow)
+	c.h = nil
+	return nil
+}
+
+// Backend binds flows across a built topology, implementing
+// wire.Backend over one sender host and one receiver host.
+type Backend struct {
+	sim              *netsim.Simulator
+	srcHost, dstHost *netsim.Host
+	srcMux, dstMux   *Demux
+}
+
+// NewBackend wraps a sender/receiver host pair (with their demuxes)
+// as a wire.Backend.
+func NewBackend(sim *netsim.Simulator, srcHost *netsim.Host, srcMux *Demux, dstHost *netsim.Host, dstMux *Demux) *Backend {
+	return &Backend{sim: sim, srcHost: srcHost, dstHost: dstHost, srcMux: srcMux, dstMux: dstMux}
+}
+
+// Name implements wire.Backend.
+func (b *Backend) Name() string { return "sim" }
+
+// FlowConns implements wire.Backend.
+func (b *Backend) FlowConns(id netsim.FlowID) (snd, rcv wire.Conn, err error) {
+	return New(b.sim, b.srcHost, b.srcMux, b.dstHost.ID(), id),
+		New(b.sim, b.dstHost, b.dstMux, b.srcHost.ID(), id), nil
+}

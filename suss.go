@@ -28,6 +28,9 @@ const (
 	BBRv1
 	// BBRv2Lite is BBRv1 plus a loss-bounded inflight ceiling.
 	BBRv2Lite
+	// Reno is classic AIMD (RFC 5681) without any slow-start
+	// acceleration — the yardstick baseline.
+	Reno
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +46,8 @@ func (a Algorithm) algo() experiments.Algo {
 		return experiments.BBR
 	case BBRv2Lite:
 		return experiments.BBR2
+	case Reno:
+		return experiments.Reno
 	default:
 		panic("suss: unknown algorithm")
 	}
