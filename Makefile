@@ -10,7 +10,7 @@ BENCH_HEAD ?= bench.head.txt
 # gates at zero increase).
 BENCH_TOL ?= 0.10
 
-.PHONY: check build vet test testdebug race allocgate chaos interop fuzz-short bench bench-sched bench-baseline bench-compare bench-record bench-gate clean
+.PHONY: check build vet test testdebug race allocgate chaos interop fuzz-short fleet-smoke bench bench-sched bench-baseline bench-compare bench-record bench-gate clean
 
 # The full gate CI runs: build + vet + tests (including the
 # AllocsPerRun zero-allocation gates in internal/netsim) + the
@@ -69,6 +69,14 @@ interop:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSegment -fuzztime 30s ./internal/wire
 
+# Population smoke under -race: a 10k-flow fleet over 4 shared
+# bottleneck trees, SUSS off vs on over the identical population, run
+# at two worker counts — the merged per-class FCT CDF CSV must be
+# byte-identical (the sharding determinism contract) and the small-flow
+# FCT delta is reported in the -v log.
+fleet-smoke:
+	$(GO) test -race -timeout 900s -run 'TestFleetSmoke' -v ./internal/experiments
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
@@ -113,19 +121,38 @@ FIG11_BENCH = 'BenchmarkFig11ParallelVsSequential/workers=1$$'
 FIG11_FLAGS = -benchmem -benchtime 1x -count 12
 SCHED_BENCH = 'BenchmarkScheduler(Churn|Cascade)'
 SCHED_FLAGS = -benchmem -count 8
+# The fleet gate replays one deterministic 400-flow shard per sample:
+# serial, fully seeded, one simulation per op at 1x like the fig11
+# gate. Its alloc count carries ±~10 counts of map hash-seed noise
+# (each demux map's overflow-bucket allocation depends on Go's
+# per-map random seed), so the gate allows 64 allocs of absolute
+# slack — far below a real regression, which is per-flow and so shows
+# up 400× (one extra alloc per flow = +400 allocs/op). The alloc half
+# is the precision instrument; best-of-10 wall clock for a ~25 ms
+# one-shot replay wobbles close to 2× between processes on a shared
+# 1-vCPU runner, so the ns half only backstops order-of-magnitude
+# blowups (an event-loop livelock, an accidental O(n²) merge).
+FLEET_BENCH = 'BenchmarkFleetShard$$'
+FLEET_FLAGS = -benchmem -benchtime 1x -count 10
+FLEET_ALLOC_SLACK = 64
+FLEET_NS_TOL = 1.0
 
 bench-record:
 	$(GO) test -run '^$$' -bench $(FIG11_BENCH) $(FIG11_FLAGS) . > bench.fig11.txt
 	$(GO) run ./cmd/benchgate -record BENCH_fig11.json < bench.fig11.txt
 	$(GO) test -run '^$$' -bench $(SCHED_BENCH) $(SCHED_FLAGS) ./internal/netsim > bench.sched.txt
 	$(GO) run ./cmd/benchgate -record BENCH_sched.json < bench.sched.txt
+	$(GO) test -run '^$$' -bench $(FLEET_BENCH) $(FLEET_FLAGS) ./internal/runner > bench.fleet.txt
+	$(GO) run ./cmd/benchgate -record BENCH_fleet.json < bench.fleet.txt
 
 bench-gate:
 	$(GO) test -run '^$$' -bench $(FIG11_BENCH) $(FIG11_FLAGS) . > bench.fig11.txt
 	$(GO) run ./cmd/benchgate -tolerance $(BENCH_TOL) -compare BENCH_fig11.json < bench.fig11.txt
 	$(GO) test -run '^$$' -bench $(SCHED_BENCH) $(SCHED_FLAGS) ./internal/netsim > bench.sched.txt
 	$(GO) run ./cmd/benchgate -tolerance $(BENCH_TOL) -compare BENCH_sched.json < bench.sched.txt
+	$(GO) test -run '^$$' -bench $(FLEET_BENCH) $(FLEET_FLAGS) ./internal/runner > bench.fleet.txt
+	$(GO) run ./cmd/benchgate -tolerance $(FLEET_NS_TOL) -allocslack $(FLEET_ALLOC_SLACK) -compare BENCH_fleet.json < bench.fleet.txt
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.fig11.txt bench.sched.txt
+	rm -f bench.fig11.txt bench.sched.txt bench.fleet.txt

@@ -57,7 +57,7 @@ func TestStripProcs(t *testing.T) {
 func TestDiffPassesWithinTolerance(t *testing.T) {
 	base := map[string]Bench{"B": {NsPerOp: 1000, AllocsPerOp: 10}}
 	got := map[string]Bench{"B": {NsPerOp: 1080, AllocsPerOp: 10}}
-	if f := diff(base, got, 0.10); len(f) != 0 {
+	if f := diff(base, got, 0.10, 0); len(f) != 0 {
 		t.Fatalf("unexpected failures: %v", f)
 	}
 }
@@ -65,7 +65,7 @@ func TestDiffPassesWithinTolerance(t *testing.T) {
 func TestDiffFailsOnNsRegression(t *testing.T) {
 	base := map[string]Bench{"B": {NsPerOp: 1000, AllocsPerOp: 10}}
 	got := map[string]Bench{"B": {NsPerOp: 1200, AllocsPerOp: 10}}
-	f := diff(base, got, 0.10)
+	f := diff(base, got, 0.10, 0)
 	if len(f) != 1 || !strings.Contains(f[0], "ns/op") {
 		t.Fatalf("want one ns/op failure, got %v", f)
 	}
@@ -74,15 +74,27 @@ func TestDiffFailsOnNsRegression(t *testing.T) {
 func TestDiffFailsOnAnyAllocRegression(t *testing.T) {
 	base := map[string]Bench{"B": {NsPerOp: 1000, AllocsPerOp: 10}}
 	got := map[string]Bench{"B": {NsPerOp: 900, AllocsPerOp: 11}}
-	f := diff(base, got, 0.10)
+	f := diff(base, got, 0.10, 0)
 	if len(f) != 1 || !strings.Contains(f[0], "allocs/op") {
 		t.Fatalf("want one allocs/op failure, got %v", f)
 	}
 }
 
+func TestDiffAllocSlackAbsorbsNoise(t *testing.T) {
+	base := map[string]Bench{"B": {NsPerOp: 1000, AllocsPerOp: 33754}}
+	got := map[string]Bench{"B": {NsPerOp: 900, AllocsPerOp: 33760}}
+	if f := diff(base, got, 0.10, 64); len(f) != 0 {
+		t.Fatalf("slack 64 must absorb +6 allocs, got %v", f)
+	}
+	got["B"] = Bench{NsPerOp: 900, AllocsPerOp: 33900}
+	if f := diff(base, got, 0.10, 64); len(f) != 1 || !strings.Contains(f[0], "allocs/op") {
+		t.Fatalf("+146 allocs must still fail with slack 64, got %v", f)
+	}
+}
+
 func TestDiffFailsOnMissingBenchmark(t *testing.T) {
 	base := map[string]Bench{"B": {NsPerOp: 1000}}
-	f := diff(base, map[string]Bench{}, 0.10)
+	f := diff(base, map[string]Bench{}, 0.10, 0)
 	if len(f) != 1 || !strings.Contains(f[0], "missing") {
 		t.Fatalf("want one missing failure, got %v", f)
 	}

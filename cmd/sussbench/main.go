@@ -21,7 +21,8 @@
 // simulation failed to complete.
 //
 // Experiment ids: fig01 fig02 fig09 fig11 fig13 fig14 fig15 fig16
-// table1 matrix (= fig17+fig18) ablations webmix futurework appendixB.
+// table1 matrix (= fig17+fig18) ablations webmix fleet futurework
+// appendixB.
 package main
 
 import (
@@ -267,6 +268,22 @@ func run() int {
 				nflows = 40
 			}
 			emit(experiments.RunWebMix(nflows, 3, *seed).Render())
+		})
+	}
+	if run("fleet") {
+		timed("fleet", func() {
+			fc := experiments.DefaultFleetConfig(*seed)
+			if *quick {
+				fc.Flows = 2000
+			}
+			o := opts("fleet")
+			if *counters {
+				o = append(o, experiments.WithLossAccounting())
+			}
+			r := experiments.RunFleet(fc, o...)
+			incomplete += len(r.Errs)
+			emit(r.Render())
+			writeCSV("fleet.csv", r.WriteCSV)
 		})
 	}
 	if run("futurework") {

@@ -9,6 +9,7 @@
 //	sussim -algo suss -size 8MB -trace trace.csv
 //	sussim -algo suss -size 2MB -events events.jsonl -counters
 //	sussim -chaos
+//	sussim -fleet -flows 10000 -shards 4
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 	"suss"
 	"suss/internal/chaos"
+	"suss/internal/experiments"
 )
 
 func main() {
@@ -40,6 +42,12 @@ func main() {
 	eventsPath := flag.String("events", "", "record the flight-recorder event log to this file (.jsonl | .csv | anything else = timeline text; \"-\" = timeline to stdout)")
 	counters := flag.Bool("counters", false, "dump the flight-recorder flow/link counters after the run")
 	chaosRun := flag.Bool("chaos", false, "run the chaos impairment matrix (catalog × algos × seeds) and exit non-zero on any failure")
+	fleetRun := flag.Bool("fleet", false, "run a sharded flow population over the shared bottleneck tree, SUSS off vs on, and print per-class FCTs")
+	fleetFlows := flag.Int("flows", 0, "with -fleet: total population size (0 = default 10000)")
+	fleetShards := flag.Int("shards", 0, "with -fleet: independent tree shards (0 = default 4)")
+	fleetArrival := flag.Float64("arrival", 0, "with -fleet: per-shard Poisson arrival rate in flows/s (0 = default)")
+	fleetFull := flag.Bool("fullmix", false, "with -fleet: use the full heavy-tailed class mix (64 MB elephants) instead of the CI-sized smoke mix")
+	fleetCSV := flag.String("fleetcsv", "", "with -fleet: write the merged per-class FCT CDFs to this CSV file")
 	serveAddr := flag.String("serve", "", "serve -size bytes over a real UDP socket on this address (e.g. 127.0.0.1:7000); pair with a -fetch process")
 	fetchAddr := flag.String("fetch", "", "fetch -size bytes from a -serve process at this address")
 	wireLoss := flag.Float64("wireloss", 0, "with -serve: fraction of outgoing frames to erase at the wire (e.g. 0.05)")
@@ -50,6 +58,13 @@ func main() {
 		fmt.Print(m.Render())
 		if len(m.Failures()) > 0 {
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *fleetRun {
+		if err := runFleet(*seed, *fleetFlows, *fleetShards, *fleetArrival, *fleetFull, *fleetCSV); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}
@@ -148,6 +163,50 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runFleet drives the population-scale experiment: the flow fleet is
+// sharded over independent bottleneck trees and run twice (SUSS off,
+// then on) over the identical population.
+func runFleet(seed int64, flows, shards int, arrival float64, fullMix bool, csvPath string) error {
+	fc := experiments.DefaultFleetConfig(seed)
+	if flows > 0 {
+		fc.Flows = flows
+	}
+	if shards > 0 {
+		fc.Shards = shards
+	}
+	if arrival > 0 {
+		fc.ArrivalRate = arrival
+	}
+	if fullMix {
+		fc.Mix = nil // RunFleet falls back to workload.DefaultMix
+	}
+	r := experiments.RunFleet(fc, experiments.WithProgress(func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r[fleet] %d/%d shards", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}))
+	fmt.Print(r.Render())
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteCSV(f); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	if len(r.Errs) > 0 {
+		return fmt.Errorf("%d shard(s) failed", len(r.Errs))
+	}
+	return nil
 }
 
 // writeEvents dumps the flight-recorder event log; the format follows

@@ -11,7 +11,10 @@ type PathSpec struct {
 	Reverse []LinkConfig
 }
 
-// Path is a wired linear topology.
+// Path is a wired linear topology: the degenerate one-branch member
+// of the topology family Fabric compiles (see Tree for the shared
+// bottleneck generalization). One sender, one receiver, a chain of
+// links with a mirrored reverse chain through the same routers.
 type Path struct {
 	Sim      *Simulator
 	Sender   *Host
@@ -37,7 +40,8 @@ func (p *Path) Bottleneck() *Link {
 //
 //	sender → fwd[0] → R0 → fwd[1] → … → fwd[n-1] → receiver
 //
-// with the mirrored reverse chain through the same routers.
+// with the mirrored reverse chain through the same routers. Routes are
+// compiled by the fabric; on a chain they are the unique next hops.
 func NewPath(sim *Simulator, spec PathSpec) *Path {
 	n := len(spec.Forward)
 	if n == 0 {
@@ -58,46 +62,38 @@ func NewPath(sim *Simulator, spec PathSpec) *Path {
 	}
 
 	p := &Path{Sim: sim}
-	var id NodeID
-	next := func() NodeID { id++; return id }
-
-	p.Sender = NewHost(next(), "sender")
-	p.Receiver = NewHost(next(), "receiver")
+	f := NewFabric(sim)
+	p.Sender = f.Host("sender")
+	p.Receiver = f.Host("receiver")
 	for i := 0; i < n-1; i++ {
-		p.Routers = append(p.Routers, NewRouter(next(), fmt.Sprintf("r%d", i)))
+		p.Routers = append(p.Routers, f.Router(fmt.Sprintf("r%d", i)))
 	}
 
-	// Forward chain.
+	// Forward chain: sender → r0 → … → receiver.
 	p.Fwd = make([]*Link, n)
-	for i := n - 1; i >= 0; i-- {
-		var dst Node
-		if i == n-1 {
-			dst = p.Receiver
-		} else {
-			dst = p.Routers[i]
+	for i := 0; i < n; i++ {
+		var from, to Node = p.Sender, p.Receiver
+		if i > 0 {
+			from = p.Routers[i-1]
 		}
-		p.Fwd[i] = NewLink(sim, spec.Forward[i], dst)
+		if i < n-1 {
+			to = p.Routers[i]
+		}
+		p.Fwd[i] = f.Connect(from, to, spec.Forward[i])
 	}
-	p.Sender.SetOutput(p.Fwd[0])
-	for i, r := range p.Routers {
-		r.AddRoute(p.Receiver.ID(), p.Fwd[i+1])
-	}
-
-	// Reverse chain: receiver → rev[0] → R(n-2) → … → rev[n-1] → sender.
+	// Reverse chain: receiver → r(n-2) → … → sender.
 	p.Rev = make([]*Link, n)
-	for i := n - 1; i >= 0; i-- {
-		var dst Node
-		if i == n-1 {
-			dst = p.Sender
-		} else {
-			dst = p.Routers[n-2-i]
+	for i := 0; i < n; i++ {
+		var from, to Node = p.Receiver, p.Sender
+		if i > 0 {
+			from = p.Routers[n-1-i]
 		}
-		p.Rev[i] = NewLink(sim, rev[i], dst)
+		if i < n-1 {
+			to = p.Routers[n-2-i]
+		}
+		p.Rev[i] = f.Connect(from, to, rev[i])
 	}
-	p.Receiver.SetOutput(p.Rev[0])
-	for i, r := range p.Routers {
-		r.AddRoute(p.Sender.ID(), p.Rev[n-1-i])
-	}
+	f.Compile()
 	return p
 }
 
@@ -119,7 +115,8 @@ type DumbbellSpec struct {
 	Bottleneck LinkConfig
 }
 
-// Dumbbell is the constructed topology.
+// Dumbbell is the constructed topology: a Tree with a single
+// aggregation level collapsed away — two routers, one shared queue.
 type Dumbbell struct {
 	Sim        *Simulator
 	Servers    []*Host
@@ -136,25 +133,20 @@ func NewDumbbell(sim *Simulator, spec DumbbellSpec) *Dumbbell {
 		panic("netsim: dumbbell needs at least one pair")
 	}
 	d := &Dumbbell{Sim: sim}
-	var id NodeID
-	next := func() NodeID { id++; return id }
+	f := NewFabric(sim)
 
-	d.Left = NewRouter(next(), "left")
-	d.Right = NewRouter(next(), "right")
+	d.Left = f.Router("left")
+	d.Right = f.Router("right")
 
 	bcfg := spec.Bottleneck
 	if bcfg.Name == "" {
 		bcfg.Name = "bottleneck"
 	}
-	d.Bottleneck = NewLink(sim, bcfg, d.Right)
-	rcfg := bcfg
-	rcfg.Name = bcfg.Name + "-rev"
-	rcfg.QueueBytes = 4 << 20 // ACK path should not drop
-	d.RevBneck = NewLink(sim, rcfg, d.Left)
+	d.Bottleneck, d.RevBneck = f.Duplex(d.Left, d.Right, bcfg, ackMirror(bcfg))
 
 	for i := 0; i < spec.Pairs; i++ {
-		srv := NewHost(next(), fmt.Sprintf("server%d", i))
-		cli := NewHost(next(), fmt.Sprintf("client%d", i))
+		srv := f.Host(fmt.Sprintf("server%d", i))
+		cli := f.Host(fmt.Sprintf("client%d", i))
 		d.Servers = append(d.Servers, srv)
 		d.Clients = append(d.Clients, cli)
 
@@ -166,29 +158,22 @@ func NewDumbbell(sim *Simulator, spec DumbbellSpec) *Dumbbell {
 			acc.Name = fmt.Sprintf("access%d", i)
 		}
 
-		// server → left router
 		up := acc
 		up.Name = fmt.Sprintf("%s-srv-up", acc.Name)
-		srv.SetOutput(NewLink(sim, up, d.Left))
+		f.Connect(srv, d.Left, up)
 
-		// right router → client
 		down := acc
 		down.Name = fmt.Sprintf("%s-cli-down", acc.Name)
-		d.Right.AddRoute(cli.ID(), NewLink(sim, down, cli))
+		f.Connect(d.Right, cli, down)
 
-		// client → right router
 		cup := acc
 		cup.Name = fmt.Sprintf("%s-cli-up", acc.Name)
-		cli.SetOutput(NewLink(sim, cup, d.Right))
+		f.Connect(cli, d.Right, cup)
 
-		// left router → server (ACK delivery)
 		sdown := acc
 		sdown.Name = fmt.Sprintf("%s-srv-down", acc.Name)
-		d.Left.AddRoute(srv.ID(), NewLink(sim, sdown, srv))
-
-		// Cross-router routes go through the shared bottleneck.
-		d.Left.AddRoute(cli.ID(), d.Bottleneck)
-		d.Right.AddRoute(srv.ID(), d.RevBneck)
+		f.Connect(d.Left, srv, sdown)
 	}
+	f.Compile()
 	return d
 }

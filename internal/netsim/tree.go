@@ -1,0 +1,190 @@
+package netsim
+
+import "fmt"
+
+// TreeSpec describes a shared-bottleneck tree: leaf access links
+// feeding per-group aggregation links feeding one core bottleneck,
+// with server hosts on the trunk side. It is the fleet-scale
+// generalization of the linear Path — a population of clients
+// multiplexed over common queues at every level instead of one flow
+// on a private chain. Data flows server → client (download); every
+// level is wired as a duplex pair so ACKs climb a mirrored reverse
+// tree.
+//
+//	servers ⇄ trunk ⇄(core)⇄ root ⇄(agg g)⇄ agg[g] ⇄(access g.h)⇄ clients
+//
+// A one-server, one-group, one-host tree degenerates to exactly the
+// linear three-hop path; the Path builder remains the two-level
+// special case the figure experiments pin their outputs on.
+type TreeSpec struct {
+	// Groups is the number of aggregation routers.
+	Groups int
+	// HostsPerGroup is the number of client leaves under each
+	// aggregation router.
+	HostsPerGroup int
+	// Servers is the number of server hosts on the trunk side
+	// (default 1). Flows from every server share the core bottleneck.
+	Servers int
+
+	// Core configures the trunk→root link — the shared core
+	// bottleneck in the congested (download) direction. Its mirror
+	// carries ACKs with a generous queue.
+	Core LinkConfig
+	// Agg configures each root→agg[g] aggregation link; AggFor, when
+	// non-nil, overrides it per group.
+	Agg    LinkConfig
+	AggFor func(g int) LinkConfig
+	// Access configures each agg[g]→client leaf link; AccessFor, when
+	// non-nil, overrides it per (group, host).
+	Access    LinkConfig
+	AccessFor func(g, h int) LinkConfig
+	// ServerAccess configures each server⇄trunk edge. A zero Rate
+	// defaults to 4× the core rate with no extra delay, so the server
+	// farm is never the bottleneck unless asked for.
+	ServerAccess LinkConfig
+}
+
+// Tree is the wired topology. Slices are indexed the way the spec
+// reads: AggDown[g] for groups, AccessDown[c] for the flattened
+// client index c = g*HostsPerGroup + h.
+type Tree struct {
+	Sim  *Simulator
+	Spec TreeSpec
+
+	Servers []*Host
+	Clients []*Host // flattened: c = g*HostsPerGroup + h
+
+	Trunk *Router   // server-side router, upstream of the core link
+	Root  *Router   // client-side core router
+	Aggs  []*Router // one per group
+
+	Core    *Link // trunk→root, the shared bottleneck
+	CoreRev *Link // root→trunk (ACK path)
+	AggDown []*Link
+	AggUp   []*Link
+	AccessDown []*Link
+	AccessUp   []*Link
+	SrvUp   []*Link // server→trunk
+	SrvDown []*Link // trunk→server
+}
+
+// ackMirror derives the reverse-direction config for a duplex level:
+// same rate and delay, a queue generous enough that the ACK path is
+// never the bottleneck unless the caller overrides it explicitly.
+func ackMirror(cfg LinkConfig) LinkConfig {
+	rc := cfg
+	rc.Name = cfg.Name + "-rev"
+	rc.QueueBytes = 4 << 20
+	return rc
+}
+
+// NewTree wires the topology and compiles the static route tables for
+// every host pair.
+func NewTree(sim *Simulator, spec TreeSpec) *Tree {
+	if spec.Groups <= 0 || spec.HostsPerGroup <= 0 {
+		panic("netsim: tree needs at least one group and one host per group")
+	}
+	if spec.Servers <= 0 {
+		spec.Servers = 1
+	}
+	core := spec.Core
+	if core.Name == "" {
+		core.Name = "core"
+	}
+	srv := spec.ServerAccess
+	if srv.RateModel == nil && srv.Rate <= 0 {
+		srv.Rate = 4 * core.Rate
+		if srv.Rate <= 0 {
+			srv.Rate = 4 * core.RateAt0()
+		}
+		srv.QueueBytes = 64 << 20
+	}
+
+	t := &Tree{Sim: sim, Spec: spec}
+	f := NewFabric(sim)
+
+	t.Trunk = f.Router("trunk")
+	t.Root = f.Router("root")
+	for g := 0; g < spec.Groups; g++ {
+		t.Aggs = append(t.Aggs, f.Router(fmt.Sprintf("agg%d", g)))
+	}
+	for s := 0; s < spec.Servers; s++ {
+		t.Servers = append(t.Servers, f.Host(fmt.Sprintf("server%d", s)))
+	}
+	for g := 0; g < spec.Groups; g++ {
+		for h := 0; h < spec.HostsPerGroup; h++ {
+			t.Clients = append(t.Clients, f.Host(fmt.Sprintf("client%d.%d", g, h)))
+		}
+	}
+
+	for s, host := range t.Servers {
+		cfg := srv
+		if cfg.Name == "" {
+			cfg.Name = fmt.Sprintf("srv%d", s)
+		}
+		up, down := f.Duplex(host, t.Trunk, cfg, ackMirror(cfg))
+		t.SrvUp = append(t.SrvUp, up)
+		t.SrvDown = append(t.SrvDown, down)
+	}
+	t.Core, t.CoreRev = f.Duplex(t.Trunk, t.Root, core, ackMirror(core))
+	for g := 0; g < spec.Groups; g++ {
+		cfg := spec.Agg
+		if spec.AggFor != nil {
+			cfg = spec.AggFor(g)
+		}
+		if cfg.Name == "" {
+			cfg.Name = fmt.Sprintf("agg%d", g)
+		}
+		down, up := f.Duplex(t.Root, t.Aggs[g], cfg, ackMirror(cfg))
+		t.AggDown = append(t.AggDown, down)
+		t.AggUp = append(t.AggUp, up)
+		for h := 0; h < spec.HostsPerGroup; h++ {
+			acc := spec.Access
+			if spec.AccessFor != nil {
+				acc = spec.AccessFor(g, h)
+			}
+			if acc.Name == "" {
+				acc.Name = fmt.Sprintf("access%d.%d", g, h)
+			}
+			cli := t.Clients[g*spec.HostsPerGroup+h]
+			adown, aup := f.Duplex(t.Aggs[g], cli, acc, ackMirror(acc))
+			t.AccessDown = append(t.AccessDown, adown)
+			t.AccessUp = append(t.AccessUp, aup)
+		}
+	}
+	f.Compile()
+	return t
+}
+
+// RateAt0 returns the link's rate at time zero (fixed rate, or the
+// rate model sampled at 0).
+func (c LinkConfig) RateAt0() float64 {
+	if c.RateModel != nil {
+		return c.RateModel(0)
+	}
+	return c.Rate
+}
+
+// NumClients returns the number of client leaves.
+func (t *Tree) NumClients() int { return len(t.Clients) }
+
+// Client returns the leaf host for (group, host).
+func (t *Tree) Client(g, h int) *Host {
+	return t.Clients[g*t.Spec.HostsPerGroup+h]
+}
+
+// GroupOf returns the aggregation group of flattened client index c.
+func (t *Tree) GroupOf(c int) int { return c / t.Spec.HostsPerGroup }
+
+// DownLinks returns the forward (download) chain server s → client c:
+// server access, core, the client's aggregation link, and its access
+// link — the links a flow's data crosses, in order, for recorder and
+// impairment attachment.
+func (t *Tree) DownLinks(s, c int) []*Link {
+	return []*Link{t.SrvUp[s], t.Core, t.AggDown[t.GroupOf(c)], t.AccessDown[c]}
+}
+
+// UpLinks returns the reverse (ACK) chain client c → server s.
+func (t *Tree) UpLinks(s, c int) []*Link {
+	return []*Link{t.AccessUp[c], t.AggUp[t.GroupOf(c)], t.CoreRev, t.SrvDown[s]}
+}

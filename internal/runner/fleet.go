@@ -1,0 +1,294 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"suss/internal/core"
+	"suss/internal/netsim"
+	"suss/internal/obs"
+	"suss/internal/scenarios"
+	"suss/internal/stats"
+	"suss/internal/tcp"
+	"suss/internal/workload"
+)
+
+// FleetJob declares one shard of a population simulation: a slice of
+// the flow population replayed over its own bottleneck tree. Shards
+// are fully independent simulations — the runner executes one per
+// worker and the experiment layer merges the records — so a fleet
+// scales to all cores without any cross-simulator coupling.
+type FleetJob struct {
+	Fleet scenarios.Fleet
+	Algo  Algo
+	// Pop describes the whole population; the job simulates shard
+	// Shard of Shards.
+	Pop    workload.PopulationSpec
+	Shard  int
+	Shards int
+	// SussOpt overrides the SUSS configuration when Algo == Suss.
+	SussOpt *core.Options
+	// Transport overrides the TCP configuration (nil = DefaultConfig).
+	Transport *tcp.Config
+	// Horizon caps simulated time past the last arrival (0 =
+	// DefaultHorizon). The simulation stops early once every flow
+	// completes.
+	Horizon time.Duration
+	// Observe attaches the flight recorder to every flow and every
+	// data-path link and fills ShardResult.Ledger.
+	Observe bool
+	// WallLimit arms the wall-clock watchdog (see Job.WallLimit).
+	WallLimit time.Duration
+	// Impair, when non-nil, runs after the tree is built and before
+	// any flow starts — the chaos hook for attaching impairment stages
+	// to tree links.
+	Impair func(env FleetChaosEnv)
+}
+
+// FleetChaosEnv is what a fleet Impair hook gets to work with.
+type FleetChaosEnv struct {
+	Sim  *netsim.Simulator
+	Tree *netsim.Tree
+	RNG  *rand.Rand
+	Seed int64
+}
+
+func (j FleetJob) describe() string {
+	return fmt.Sprintf("fleet %s shard=%d/%d flows=%d", j.Algo, j.Shard, j.Shards, j.Pop.ShardFlows(j.Shard, j.Shards))
+}
+
+// FlowRecord is one population flow's measurement.
+type FlowRecord struct {
+	ID        int
+	Class     workload.Class
+	Size      int64
+	Start     time.Duration
+	FCT       time.Duration // zero when incomplete
+	Completed bool
+	Retrans   int
+	RTOs      int
+}
+
+// ShardResult is one shard's population-level measurement.
+type ShardResult struct {
+	Shard int
+	Algo  Algo
+	Flows []FlowRecord
+
+	// Core is the shared bottleneck's link statistics; TotalDataDrops
+	// sums congestion drops over every data-path link (server access,
+	// core, aggregation, leaf access).
+	Core           netsim.LinkStats
+	TotalDataDrops int
+
+	// JainGoodput is Jain's index over completed flows' goodputs
+	// (size/FCT) — the contention-fairness number the fleet report
+	// tracks.
+	JainGoodput float64
+
+	// Ledger aggregates cross-layer loss accounting over every flow,
+	// with each link counted once (nil unless Observe).
+	Ledger *obs.LossLedger
+
+	// SimEnd is the virtual time the shard stopped at.
+	SimEnd time.Duration
+	// Stall is non-nil when the watchdog killed the shard.
+	Stall *StallError
+}
+
+// Completed counts finished flows.
+func (r ShardResult) Completed() int {
+	n := 0
+	for _, f := range r.Flows {
+		if f.Completed {
+			n++
+		}
+	}
+	return n
+}
+
+// RunFleetShard executes one shard synchronously: generate the
+// shard's population slice, wire its tree, replay every flow at its
+// arrival time, and collect the records. Determinism contract: the
+// result depends only on the job's spec fields, never on wall clock
+// or worker scheduling.
+func RunFleetShard(j FleetJob) ShardResult {
+	if j.Shards <= 0 {
+		j.Shards = 1
+	}
+	flows := j.Pop.Shard(j.Shard, j.Shards)
+
+	fl := j.Fleet
+	fl.Seed = fl.Seed*1000003 + int64(j.Shard)*7919 + 1
+	sim := netsim.NewSimulator()
+	tree, rng := fl.Build(sim)
+
+	cfg := tcp.DefaultConfig()
+	if j.Transport != nil {
+		cfg = *j.Transport
+	}
+
+	// One demux per host; every flow registers under its own ID.
+	srvMux := make([]*tcp.Demux, len(tree.Servers))
+	for s, h := range tree.Servers {
+		srvMux[s] = tcp.NewDemux(h)
+	}
+	cliMux := make([]*tcp.Demux, tree.NumClients())
+	for c, h := range tree.Clients {
+		cliMux[c] = tcp.NewDemux(h)
+	}
+
+	var reg *obs.Registry
+	if j.Observe || j.WallLimit > 0 {
+		reg = obs.NewRegistry(0)
+		for i, l := range downPathLinks(tree) {
+			l.AttachRecorder(reg.Link(fmt.Sprintf("down%d/%s", i, l.Name())))
+		}
+	}
+
+	// Flows are spread round-robin: flow i downloads from server
+	// i%Servers to client i%NumClients, so every leaf and every branch
+	// carries its share of the population.
+	tflows := make([]*tcp.Flow, len(flows))
+	completed := 0
+	for i, fs := range flows {
+		s := i % len(tree.Servers)
+		c := i % tree.NumClients()
+		f := tcp.NewFlow(sim, cfg, netsim.FlowID(i+1),
+			tree.Servers[s], srvMux[s], tree.Clients[c], cliMux[c], fs.Size, nil)
+		var ctrl = NewController(j.Algo, f.Sender)
+		if j.Algo == Suss && j.SussOpt != nil {
+			ctrl = core.New(f.Sender, *j.SussOpt)
+		}
+		f.Sender.SetController(ctrl)
+		if reg != nil {
+			fr := reg.Flow(int32(i + 1))
+			f.Sender.AttachRecorder(fr)
+			f.Receiver.AttachRecorder(fr)
+			if a, ok := ctrl.(recorderAttacher); ok {
+				a.AttachRecorder(fr)
+			}
+		}
+		prev := f.Receiver.OnComplete
+		f.Receiver.OnComplete = func(now time.Duration) {
+			prev(now)
+			completed++
+		}
+		f.StartAt(sim, fs.Start)
+		tflows[i] = f
+	}
+	// Stop as soon as the whole population has finished; abandoned
+	// flows (dead-path aborts) drain the event queue on their own.
+	sim.StopWhen(func() bool { return completed == len(flows) })
+	defer sim.StopWhen(nil)
+
+	if j.Impair != nil {
+		j.Impair(FleetChaosEnv{Sim: sim, Tree: tree, RNG: rng, Seed: fl.Seed})
+	}
+
+	slack := j.Horizon
+	if slack <= 0 {
+		slack = DefaultHorizon
+	}
+	horizon := workload.Horizon(flows, slack)
+	var stall *StallError
+	end, err := RunGuarded(sim, reg, horizon, j.WallLimit, j.describe())
+	if err != nil {
+		stall = err.(*StallError)
+	}
+
+	res := ShardResult{Shard: j.Shard, Algo: j.Algo, Flows: make([]FlowRecord, len(flows)), SimEnd: end, Stall: stall}
+	var goodputs []float64
+	for i, fs := range flows {
+		f := tflows[i]
+		st := f.Sender.Stats()
+		rec := FlowRecord{
+			ID:        fs.ID,
+			Class:     fs.Class,
+			Size:      fs.Size,
+			Start:     fs.Start,
+			FCT:       f.FCT(),
+			Completed: f.Done(),
+			Retrans:   st.Retransmissions,
+			RTOs:      st.RTOs,
+		}
+		res.Flows[i] = rec
+		if rec.Completed && rec.FCT > 0 {
+			goodputs = append(goodputs, float64(rec.Size)/rec.FCT.Seconds())
+		}
+	}
+	res.JainGoodput = stats.JainIndex(goodputs)
+	res.Core = tree.Core.Stats()
+	for _, l := range downPathLinks(tree) {
+		res.TotalDataDrops += l.Stats().DroppedPackets
+	}
+	if reg != nil {
+		res.Ledger = shardLedger(reg, len(flows))
+	}
+	return res
+}
+
+// downPathLinks lists every link the population's data crosses, each
+// exactly once, in a deterministic order (server access, core,
+// aggregation, leaf access).
+func downPathLinks(t *netsim.Tree) []*netsim.Link {
+	out := make([]*netsim.Link, 0, len(t.SrvUp)+1+len(t.AggDown)+len(t.AccessDown))
+	out = append(out, t.SrvUp...)
+	out = append(out, t.Core)
+	out = append(out, t.AggDown...)
+	out = append(out, t.AccessDown...)
+	return out
+}
+
+// shardLedger sums the per-flow ledgers and counts every link once:
+// LossLedger.Add is additive over flows, but the shared links would be
+// double-counted if added per flow.
+func shardLedger(reg *obs.Registry, nflows int) *obs.LossLedger {
+	links := reg.Links()
+	lcs := make([]*obs.LinkCounters, len(links))
+	for i, l := range links {
+		lcs[i] = &l.C
+	}
+	led := obs.MakeLedger(&reg.Flow(1).C, lcs...)
+	for id := 2; id <= nflows; id++ {
+		led.Add(obs.MakeLedger(&reg.Flow(int32(id)).C))
+	}
+	return &led
+}
+
+// RunFleet executes every shard of the population on the worker pool
+// and returns the results in shard order — byte-identical merges at
+// any worker count, exactly like Run. A shard that panics or stalls
+// carries its error without aborting the rest of the fleet.
+func RunFleet(ctx context.Context, j FleetJob, opt Options) []FleetResult {
+	if j.Shards <= 0 {
+		j.Shards = 1
+	}
+	shards := make([]int, j.Shards)
+	for i := range shards {
+		shards[i] = i
+	}
+	outs := Map(ctx, shards, func(_ context.Context, _ int, shard int) (ShardResult, error) {
+		sj := j
+		sj.Shard = shard
+		r := RunFleetShard(sj)
+		if r.Stall != nil {
+			return r, fmt.Errorf("%s: %w", sj.describe(), r.Stall)
+		}
+		return r, nil
+	}, opt)
+	res := make([]FleetResult, len(outs))
+	for i, o := range outs {
+		res[i] = FleetResult{ShardResult: o.Value, Err: o.Err}
+	}
+	return res
+}
+
+// FleetResult pairs a shard result with its execution error (panic,
+// stall, or cancellation).
+type FleetResult struct {
+	ShardResult
+	Err error
+}

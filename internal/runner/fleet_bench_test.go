@@ -1,0 +1,23 @@
+package runner
+
+import "testing"
+
+// BenchmarkFleetShard is the committed-baseline gate for the
+// population hot path (BENCH_fleet.json via cmd/benchgate): one
+// 400-flow shard replayed serially. The job is fully seeded and the
+// shard is a deterministic single-threaded simulation, so at
+// -benchtime 1x each sample is one full replay and a regression in
+// the tree forwarding or population plumbing shows up as a per-flow
+// (×400) delta. The alloc count is deterministic up to ±~10 counts of
+// map hash-seed noise, which the gate's -allocslack absorbs (see
+// Makefile).
+func BenchmarkFleetShard(b *testing.B) {
+	j := testFleetJob(800) // 2 shards → 400 flows in shard 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := RunFleetShard(j)
+		if got := r.Completed(); got != len(r.Flows) {
+			b.Fatalf("only %d/%d flows completed", got, len(r.Flows))
+		}
+	}
+}

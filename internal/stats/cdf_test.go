@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCDFQuantiles(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 3, 2, 4}) // sorts to 1..5
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{0.125, 1.5}, // interpolated
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if c.N() != 5 || c.Min() != 1 || c.Max() != 5 {
+		t.Errorf("N/Min/Max = %d/%g/%g, want 5/1/5", c.N(), c.Min(), c.Max())
+	}
+}
+
+func TestCDFMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	c := NewCDF(xs)
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9} {
+		if got, want := c.Quantile(p/100), Percentile(xs, p); got != want {
+			t.Errorf("Quantile(%g)=%g disagrees with Percentile=%g", p/100, got, want)
+		}
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.Quantile(0.5) != 0 || c.At(1) != 0 || c.N() != 0 || c.Min() != 0 || c.Max() != 0 {
+		t.Error("empty CDF must read as all zeros")
+	}
+}
+
+// Golden: the CSV encoding is part of the fleet experiment's
+// determinism contract — byte-identical for identical samples.
+func TestCDFWriteCSVGolden(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i+1) / 8 // 0.125 .. 12.5
+	}
+	var sb strings.Builder
+	if err := NewCDF(xs).WriteCSV(&sb, "web", nil); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `web,0.01,0.24875
+web,0.05,0.74375
+web,0.1,1.3625
+web,0.25,3.21875
+web,0.5,6.3125
+web,0.75,9.40625
+web,0.9,11.2625
+web,0.95,11.8812
+web,0.99,12.3763
+web,0.999,12.4876
+web,1,12.5
+`
+	if sb.String() != golden {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), golden)
+	}
+}
