@@ -10,7 +10,7 @@ BENCH_HEAD ?= bench.head.txt
 # gates at zero increase).
 BENCH_TOL ?= 0.10
 
-.PHONY: check build vet test testdebug race allocgate chaos interop fuzz-short fleet-smoke bench bench-sched bench-baseline bench-compare bench-record bench-gate clean
+.PHONY: check build vet test testdebug race allocgate chaos interop fuzz-short fleet-smoke domains bench bench-sched bench-baseline bench-compare bench-record bench-gate clean
 
 # The full gate CI runs: build + vet + tests (including the
 # AllocsPerRun zero-allocation gates in internal/netsim) + the
@@ -77,6 +77,13 @@ fuzz-short:
 fleet-smoke:
 	$(GO) test -race -timeout 900s -run 'TestFleetSmoke' -v ./internal/experiments
 
+# Parallel-event-domain determinism under -race: the cluster protocol
+# tests plus every differential that replays the same workload
+# monolithically and split across domains (trees, fleet shards, the
+# chaos catalog, the fig11/fleet sweeps) and requires identical bytes.
+domains:
+	$(GO) test -race -timeout 600s -run 'Domain|Cluster' ./internal/netsim ./internal/runner ./internal/chaos ./internal/experiments
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
@@ -118,7 +125,12 @@ FIG11_BENCH = 'BenchmarkFig11ParallelVsSequential/workers=1$$'
 # benchtime stays at 1x: each sample is one full sweep, so allocs/op
 # is an exact count (longer benchtimes amortize setup allocations and
 # introduce ±1 rounding jitter); the high -count tightens best-of-N.
+# Like the fleet gate, the alloc half is the precision instrument:
+# best-of-12 wall clock for the one-shot sweep still wobbles ~20%
+# process-to-process on a shared 1-vCPU runner, so the ns half only
+# backstops structural blowups.
 FIG11_FLAGS = -benchmem -benchtime 1x -count 12
+FIG11_NS_TOL = 0.50
 SCHED_BENCH = 'BenchmarkScheduler(Churn|Cascade)'
 SCHED_FLAGS = -benchmem -count 8
 # The fleet gate replays one deterministic 400-flow shard per sample:
@@ -136,6 +148,20 @@ FLEET_BENCH = 'BenchmarkFleetShard$$'
 FLEET_FLAGS = -benchmem -benchtime 1x -count 10
 FLEET_ALLOC_SLACK = 64
 FLEET_NS_TOL = 1.0
+# The domains gate replays the same 600-flow shard monolithically
+# (domains=1) and across a 10-way partition. The domains=1 half
+# inherits the fleet gate's tolerances (deterministic serial replay,
+# map hash-seed alloc noise); the domains=10 half additionally wobbles
+# with goroutine scheduling, so the ns tolerance is shared and loose.
+# -minspeedup is the parallel gate proper: the domains=1 / domains=10
+# ns/op ratio must reach 2x — enforced only when the machine reports
+# GOMAXPROCS >= 4 (a barrier-synchronized cluster cannot express the
+# speedup without cores), reported as a notice otherwise.
+DOMAINS_BENCH = 'BenchmarkTreeDomains$$'
+DOMAINS_FLAGS = -benchmem -benchtime 1x -count 6
+DOMAINS_ALLOC_SLACK = 96
+DOMAINS_NS_TOL = 1.0
+DOMAINS_MIN_SPEEDUP = 2.0
 
 bench-record:
 	$(GO) test -run '^$$' -bench $(FIG11_BENCH) $(FIG11_FLAGS) . > bench.fig11.txt
@@ -144,15 +170,19 @@ bench-record:
 	$(GO) run ./cmd/benchgate -record BENCH_sched.json < bench.sched.txt
 	$(GO) test -run '^$$' -bench $(FLEET_BENCH) $(FLEET_FLAGS) ./internal/runner > bench.fleet.txt
 	$(GO) run ./cmd/benchgate -record BENCH_fleet.json < bench.fleet.txt
+	$(GO) test -run '^$$' -bench $(DOMAINS_BENCH) $(DOMAINS_FLAGS) ./internal/runner > bench.domains.txt
+	$(GO) run ./cmd/benchgate -record BENCH_domains.json < bench.domains.txt
 
 bench-gate:
 	$(GO) test -run '^$$' -bench $(FIG11_BENCH) $(FIG11_FLAGS) . > bench.fig11.txt
-	$(GO) run ./cmd/benchgate -tolerance $(BENCH_TOL) -compare BENCH_fig11.json < bench.fig11.txt
+	$(GO) run ./cmd/benchgate -tolerance $(FIG11_NS_TOL) -compare BENCH_fig11.json < bench.fig11.txt
 	$(GO) test -run '^$$' -bench $(SCHED_BENCH) $(SCHED_FLAGS) ./internal/netsim > bench.sched.txt
 	$(GO) run ./cmd/benchgate -tolerance $(BENCH_TOL) -compare BENCH_sched.json < bench.sched.txt
 	$(GO) test -run '^$$' -bench $(FLEET_BENCH) $(FLEET_FLAGS) ./internal/runner > bench.fleet.txt
 	$(GO) run ./cmd/benchgate -tolerance $(FLEET_NS_TOL) -allocslack $(FLEET_ALLOC_SLACK) -compare BENCH_fleet.json < bench.fleet.txt
+	$(GO) test -run '^$$' -bench $(DOMAINS_BENCH) $(DOMAINS_FLAGS) ./internal/runner > bench.domains.txt
+	$(GO) run ./cmd/benchgate -tolerance $(DOMAINS_NS_TOL) -allocslack $(DOMAINS_ALLOC_SLACK) -minspeedup $(DOMAINS_MIN_SPEEDUP) -compare BENCH_domains.json < bench.domains.txt
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.fig11.txt bench.sched.txt bench.fleet.txt
+	rm -f bench.fig11.txt bench.sched.txt bench.fleet.txt bench.domains.txt

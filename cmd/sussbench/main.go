@@ -10,7 +10,9 @@
 //	sussbench -quick          # reduced sweep for a fast smoke pass
 //	sussbench -parallel 8     # worker pool size (0 = GOMAXPROCS)
 //	sussbench -only fig11 -counters   # cross-layer loss accounting
+//	sussbench -only fleet -domains 6  # parallel event domains per simulation
 //	sussbench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	sussbench -blockprofile block.pprof -mutexprofile mutex.pprof
 //
 // Sweep experiments fan their independent simulations out over a
 // bounded worker pool (internal/runner). Results are collected by job
@@ -56,8 +58,11 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "worker pool size for sweep experiments (0 = GOMAXPROCS)")
 	noProgress := flag.Bool("no-progress", false, "suppress the stderr progress line")
 	counters := flag.Bool("counters", false, "attach flight recorders and print cross-layer loss accounting (fig11)")
+	domains := flag.Int("domains", 0, "run each simulation as this many parallel event domains (0/1 = single-threaded; output is identical at any count)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit (cluster barrier waits show up here)")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -92,6 +97,16 @@ func run() int {
 			}
 			fmt.Fprintf(os.Stderr, "wrote allocation profile to %s\n", *memProfile)
 		}()
+	}
+	// Block and mutex profiling carry a runtime cost, so the rates are
+	// raised from their zero defaults only when a profile was requested.
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockProfile)
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProfile)
 	}
 
 	if *outDir != "" {
@@ -128,7 +143,7 @@ func run() int {
 	// opts builds the sweep options for one experiment: the shared
 	// worker bound plus a stderr progress line tagged with the id.
 	opts := func(id string) []experiments.Option {
-		o := []experiments.Option{experiments.WithWorkers(*parallel)}
+		o := []experiments.Option{experiments.WithWorkers(*parallel), experiments.WithDomains(*domains)}
 		if !*noProgress {
 			o = append(o, experiments.WithProgress(func(done, total int) {
 				fmt.Fprintf(os.Stderr, "\r[%s] %d/%d jobs", id, done, total)
@@ -321,4 +336,20 @@ func run() int {
 
 func emit(s string) {
 	fmt.Println(s)
+}
+
+// writeProfile dumps a named runtime profile ("block", "mutex") at
+// exit, mirroring the -memprofile flow.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cannot create -%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "cannot write -%sprofile: %v\n", name, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s profile to %s\n", name, path)
 }

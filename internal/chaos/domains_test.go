@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"suss/internal/netem"
+	"suss/internal/runner"
+	"suss/internal/scenarios"
+)
+
+// TestCatalogDomainsDifferential runs every catalog impairment over
+// the hardened transport twice — monolithic and split across event
+// domains — and requires identical results. The catalog attaches
+// everything to the last hop and the receiver, which the path
+// partitioner keeps inside one domain, so every impairment RNG draw
+// happens in the same local order and the cluster protocol must not
+// change a single counter.
+func TestCatalogDomainsDifferential(t *testing.T) {
+	cfg := HardenedTransport()
+	for _, imp := range Catalog() {
+		imp := imp
+		t.Run(imp.Name, func(t *testing.T) {
+			j := runner.Job{
+				Scenario:  scenarios.New(scenarios.GoogleTokyo, netem.WiFi, 11),
+				Algo:      runner.Suss,
+				Size:      1 << 20,
+				Transport: &cfg,
+				Impair: func(env runner.ChaosEnv) {
+					imp.Attach(env, rand.New(rand.NewSource(env.Seed^0x5eed0fc4a05)))
+				},
+			}
+			base := runner.Download(j)
+			j.Domains = 2
+			got := runner.Download(j)
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("domains=2 diverged\nbase: %+v\ngot:  %+v", base, got)
+			}
+		})
+	}
+}

@@ -52,7 +52,7 @@ func RunFig11(server scenarios.Server, sizes []int64, iters int, seed int64, opt
 		for _, size := range sizes {
 			for _, algo := range res.Algos {
 				for it := 0; it < iters; it++ {
-					jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it, Observe: cfg.lossAcct})
+					jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it, Observe: cfg.lossAcct, Domains: cfg.domains})
 				}
 			}
 		}

@@ -162,6 +162,7 @@ func RunFleet(fc FleetConfig, opts ...Option) FleetResult {
 			Shards:  fc.Shards,
 			Horizon: fc.Horizon,
 			Observe: cfg.lossAcct,
+			Domains: cfg.domains,
 		}
 		shards := runner.RunFleet(cfg.ctx, job, cfg.pool())
 

@@ -1,0 +1,359 @@
+package netsim
+
+// Parallel event domains: one simulation partitioned into per-domain
+// Simulators (each with its own timing wheel, packet pool, and clock)
+// that run on separate goroutines and synchronize only where packets
+// cross a domain frontier.
+//
+// The synchronization rule is classic conservative lookahead
+// (Chandy–Misra–Bryant): a cross-domain link's propagation delay is a
+// hard lower bound on how far in the future its deliveries land, so
+// with L = min frontier delay, every domain may execute the window
+// [t0, t0+L) — t0 being the earliest pending event cluster-wide —
+// without ever receiving a message dated inside it. Run is therefore
+// a window-barrier loop: pick t0, release every domain to t0+L-1 in
+// parallel, join, hand the frontier traffic over, repeat. Long-fat
+// paths (the interesting SUSS regimes) have large per-link delays —
+// large lookahead — so the barrier is amortized over big windows
+// exactly where scaling matters.
+//
+// Determinism is the contract, not a best effort. Three mechanisms
+// carry it:
+//
+//   - Frontier messages carry the key the source domain armed them
+//     with — (arrival time, arm time, source domain ID, per-frontier
+//     sequence) — and are injected with scheduleKeyed, so the
+//     destination wheel orders them by that key, never by which
+//     goroutine delivered first.
+//
+//   - The dispatch comparator (sim.go slotLess) extends the
+//     monolithic (deadline, arm seq) order to (deadline, armAt, dom,
+//     seq). With one domain, armAt is monotone in seq and dom is
+//     constant, so single-domain cluster runs are byte-identical to a
+//     plain Simulator; with N domains, cross-domain ties at an exact
+//     (deadline, armAt) collision break by domain ID — deterministic
+//     by construction.
+//
+//     That tie-break is the one place a wide split can diverge from
+//     the monolithic interleave: when messages from two DIFFERENT
+//     source domains collide at an identical key (on a saturated
+//     symmetric tree, ACK arrivals from sibling subtrees phase-lock
+//     to the shared core's serialization grid, so this does happen),
+//     domain ID decides instead of the global arm order, and the
+//     swapped enqueue shifts the affected delivery by one
+//     serialization quantum. The schedule stays deterministic at any
+//     fixed domain count — reruns are byte-identical — and splits in
+//     which every frontier pair has a single source domain (e.g. a
+//     two-domain partition) are byte-identical to the monolithic run,
+//     because a pair's emission sequence IS its arm order.
+//
+//   - Packet ownership transfers by value: the source link copies the
+//     packet into the message and releases its pooled original before
+//     the barrier; the destination acquires from its own pool and
+//     copies back at injection. Each pool stays single-owner and the
+//     sussdebug lifecycle detector keeps working unchanged.
+//
+// Domains exchange no other state. Anything shared across a frontier
+// (a recorder ring, a non-atomic counter) is a race; the runner layer
+// therefore disables observation in cluster mode and uses the
+// deterministic barrier predicate (StopAtBarrier) for semantic stops.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// xmsg is one packet crossing a domain frontier: the delivery it would
+// have been scheduled as, plus the ordering key the source domain
+// armed it with.
+type xmsg struct {
+	at    time.Duration // arrival (delivery deadline) at the destination
+	armAt time.Duration // source-domain virtual time when emitted
+	seq   uint64        // per-frontier-pair emission sequence
+	dom   uint32        // source domain ID
+	link  *Link         // frontier link; delivery runs l.deliver in the dst domain
+	pkt   Packet        // by-value copy; the pooled original is already released
+}
+
+// frontierOut is the outbox for one (src, dst) domain pair. All
+// frontier links between the same pair share one outbox — and one
+// emission sequence — so two links' deliveries colliding at the same
+// (arrival, armAt) instant still have a total order, the order their
+// packets entered propagation. It is written only by the source
+// domain's goroutine during a window and drained only by the
+// coordinator between windows; the barrier orders the two.
+type frontierOut struct {
+	src, dst int
+	seq      uint64
+	msgs     []xmsg
+}
+
+// clusterDomain is one event domain: a Simulator plus its frontier
+// inbox and the worker channel its goroutine blocks on.
+type clusterDomain struct {
+	sim  *Simulator
+	in   []xmsg
+	work chan time.Duration
+}
+
+// Cluster runs one logical simulation as N event domains in parallel.
+// Build the topology with NewFabricOn / NewTreeOn / NewPathOn (which
+// place nodes into domains and register cross-domain links), then
+// drive it with Run exactly like a Simulator. A 1-domain Cluster is a
+// plain Simulator with a coordinator wrapper: same code path, same
+// bytes out.
+//
+// All construction and all Run calls must happen on one goroutine;
+// parallelism lives strictly inside Run's windows.
+type Cluster struct {
+	doms []*clusterDomain
+	outs []*frontierOut
+	// fronts lists every cross-domain link for per-Run validation:
+	// each must have positive propagation delay (the lookahead) and no
+	// impairment pipeline (stages may reshape arrivals below it).
+	fronts []*Link
+
+	wg       sync.WaitGroup
+	stopWhen func() bool
+	barrier  func() bool
+}
+
+// NewCluster returns a cluster of n event domains (n < 1 is treated
+// as 1). Domain 0 is the coordinator's own domain — it runs inline on
+// the calling goroutine — so partitioners put the chattiest cluster
+// of nodes there.
+func NewCluster(n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		s := NewSimulator()
+		s.domID = uint32(i)
+		c.doms = append(c.doms, &clusterDomain{sim: s})
+	}
+	return c
+}
+
+// N returns the number of domains.
+func (c *Cluster) N() int { return len(c.doms) }
+
+// Sim returns domain i's Simulator. Components built into domain i
+// (its hosts, links, flows) must schedule and allocate only through
+// this simulator.
+func (c *Cluster) Sim(i int) *Simulator { return c.doms[i].sim }
+
+// Now returns the most advanced domain clock. After Run returns, all
+// domain clocks agree to within one lookahead window.
+func (c *Cluster) Now() time.Duration {
+	var max time.Duration
+	for _, d := range c.doms {
+		if n := d.sim.Now(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Pending returns the number of queued events across all domains,
+// counting frontier messages still staged in outboxes or inboxes.
+func (c *Cluster) Pending() int {
+	n := 0
+	for _, d := range c.doms {
+		n += d.sim.Pending() + len(d.in)
+	}
+	for _, o := range c.outs {
+		n += len(o.msgs)
+	}
+	return n
+}
+
+// StopWhen installs a stop predicate on every domain, checked after
+// every event exactly like Simulator.StopWhen. Because domains run
+// concurrently, pred is called from multiple goroutines and the stop
+// point within a window is NOT deterministic — use it only for
+// error-path aborts (the runner watchdog's atomic flag), never for
+// semantic termination; use StopAtBarrier for that. Pass nil to clear.
+func (c *Cluster) StopWhen(pred func() bool) {
+	c.stopWhen = pred
+	for _, d := range c.doms {
+		d.sim.StopWhen(pred)
+	}
+}
+
+// StopAtBarrier installs a predicate evaluated by the coordinator at
+// each window barrier, with every domain parked and all frontier
+// traffic handed over. The window structure is a pure function of the
+// event timeline, so — unlike StopWhen — a barrier stop is
+// deterministic: same inputs, same stop window, same results. The
+// barrier's join orders every domain's writes before the predicate
+// runs, so it may read component state plainly; only state that
+// multiple domains write concurrently within a window (a shared
+// completion counter) must itself be atomic. Pass nil to clear.
+func (c *Cluster) StopAtBarrier(pred func() bool) { c.barrier = pred }
+
+// Lookahead returns the conservative synchronization window: the
+// minimum propagation delay across cross-domain links (MaxInt64 when
+// domains are fully independent). It panics if any frontier link is
+// invalid; Run performs the same validation.
+func (c *Cluster) Lookahead() time.Duration { return c.lookahead() }
+
+func (c *Cluster) lookahead() time.Duration {
+	la := time.Duration(math.MaxInt64)
+	for _, l := range c.fronts {
+		if l.cfg.Delay <= 0 {
+			panic(fmt.Sprintf("netsim: cross-domain link %q needs positive propagation delay (the delay is the conservative lookahead)", l.cfg.Name))
+		}
+		if l.impair != nil {
+			panic(fmt.Sprintf("netsim: cross-domain link %q has an impairment pipeline; stages can reshape arrivals below the propagation-delay lookahead — keep impaired links inside one domain", l.cfg.Name))
+		}
+		if l.cfg.Delay < la {
+			la = l.cfg.Delay
+		}
+	}
+	return la
+}
+
+// bindFrontier registers l as a cross-domain link from domain src to
+// domain dst, wiring its outbox. Called by the Fabric when a
+// connection spans domains.
+func (c *Cluster) bindFrontier(l *Link, src, dst int) {
+	if src == dst {
+		panic("netsim: bindFrontier within one domain")
+	}
+	var out *frontierOut
+	for _, o := range c.outs {
+		if o.src == src && o.dst == dst {
+			out = o
+			break
+		}
+	}
+	if out == nil {
+		out = &frontierOut{src: src, dst: dst}
+		c.outs = append(c.outs, out)
+	}
+	l.front = out
+	c.fronts = append(c.fronts, l)
+}
+
+// Run executes the cluster until every domain drains, the earliest
+// pending event passes until, the StopWhen predicate fires, or the
+// StopAtBarrier predicate holds at a barrier. It returns the most
+// advanced domain clock, and like Simulator.Run it leaves clocks at
+// until after a horizon stop with work still pending.
+func (c *Cluster) Run(until time.Duration) time.Duration {
+	if len(c.doms) == 1 {
+		return c.doms[0].sim.Run(until)
+	}
+	la := c.lookahead()
+	c.startWorkers()
+	defer c.stopWorkers()
+	for {
+		c.inject()
+		t0 := int64(math.MaxInt64)
+		for _, d := range c.doms {
+			if at, ok := d.sim.NextEventAt(); ok && int64(at) < t0 {
+				t0 = int64(at)
+			}
+		}
+		if t0 == math.MaxInt64 || t0 > int64(until) {
+			// Drained, or everything pending is past the horizon: settle
+			// each clock to the monolithic semantics (Now()==until when
+			// events remain). Nothing fires — every pending deadline
+			// exceeds until.
+			for _, d := range c.doms {
+				d.sim.Run(until)
+			}
+			return c.Now()
+		}
+		// The window horizon: nothing emitted inside [t0, t0+la) can
+		// arrive before t0+la, so every domain may run to t0+la-1
+		// without hearing from its neighbors. The overflow check covers
+		// both la == MaxInt64 (independent domains: one window to the
+		// horizon) and t0 near the top of the representable range.
+		h := time.Duration(t0) + la - 1
+		if h < time.Duration(t0) || h > until {
+			h = until
+		}
+		c.runWindow(h)
+		c.route()
+		if c.stopWhen != nil && c.stopWhen() {
+			return c.Now()
+		}
+		if c.barrier != nil && c.barrier() {
+			return c.Now()
+		}
+	}
+}
+
+// RunAll executes events until every domain drains (or a stop
+// predicate fires).
+func (c *Cluster) RunAll() time.Duration {
+	return c.Run(time.Duration(math.MaxInt64))
+}
+
+// startWorkers parks one goroutine per non-coordinator domain on its
+// work channel. Workers live only for the duration of one Run call:
+// no Close method to forget, no goroutines idling between runs.
+func (c *Cluster) startWorkers() {
+	for _, d := range c.doms[1:] {
+		d.work = make(chan time.Duration)
+		go func(d *clusterDomain) {
+			for h := range d.work {
+				d.sim.Run(h)
+				c.wg.Done()
+			}
+		}(d)
+	}
+}
+
+func (c *Cluster) stopWorkers() {
+	for _, d := range c.doms[1:] {
+		close(d.work)
+		d.work = nil
+	}
+}
+
+// runWindow releases every domain to horizon h and joins. The
+// coordinator executes domain 0 inline. The channel send/WaitGroup
+// pair establishes the happens-before edges that make the outbox
+// handoff in route() race-free.
+func (c *Cluster) runWindow(h time.Duration) {
+	c.wg.Add(len(c.doms) - 1)
+	for _, d := range c.doms[1:] {
+		d.work <- h
+	}
+	c.doms[0].sim.Run(h)
+	c.wg.Wait()
+}
+
+// route drains every outbox into its destination inbox. Coordinator
+// only, between windows.
+func (c *Cluster) route() {
+	for _, o := range c.outs {
+		if len(o.msgs) == 0 {
+			continue
+		}
+		d := c.doms[o.dst]
+		d.in = append(d.in, o.msgs...)
+		o.msgs = o.msgs[:0]
+	}
+}
+
+// inject schedules every staged inbox message into its destination
+// domain's wheel, transferring packet ownership into that domain's
+// pool. Coordinator only, between windows — the destination simulator
+// is parked, so touching its wheel and pool is safe.
+func (c *Cluster) inject() {
+	for _, d := range c.doms {
+		for i := range d.in {
+			m := &d.in[i]
+			p := d.sim.Pool().Get()
+			p.CopyFrom(&m.pkt)
+			d.sim.scheduleKeyed(m.at, m.armAt, m.dom, m.seq, linkDeliverEv, m.link, p)
+		}
+		d.in = d.in[:0]
+	}
+}

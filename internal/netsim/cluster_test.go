@@ -1,0 +1,306 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The cluster determinism contract: domain count changes which
+// goroutine executes an event, never which events execute or in what
+// order a component observes them. These tests replay the same
+// workload at domains=1 (monolithic code path, byte-identical to a
+// plain Simulator) and domains=N and require identical per-host
+// delivery logs, identical link ledgers, and balanced packet pools.
+// They run under -race in CI (make domains), which also proves the
+// frontier handoff is properly ordered by the window barrier.
+
+// starNet is a hub-and-spoke chatter workload: K hosts around one
+// router, every spoke a duplex pair with positive delay (a frontier
+// when the host sits outside the hub's domain). Each host pre-arms
+// random sends from its own RNG and bounces replies until a hop
+// budget runs out, so cross-domain traffic flows in both directions
+// at colliding instants.
+type starNet struct {
+	hosts []*Host
+	logs  [][]starEvent
+	spoke []*Link // host→hub
+	rspk  []*Link // hub→host
+}
+
+type starEvent struct {
+	at   time.Duration
+	src  NodeID
+	flow FlowID
+	seq  int64
+	size int
+}
+
+const starHops = 4
+
+func buildStar(c *Cluster, hosts int, seed int64) *starNet {
+	n := &starNet{}
+	f := NewFabricOn(c)
+	hub := f.Router("hub")
+	for i := 0; i < hosts; i++ {
+		n.hosts = append(n.hosts, f.HostIn(i%c.N(), fmt.Sprintf("h%d", i)))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i, h := range n.hosts {
+		cfg := LinkConfig{
+			Name:  fmt.Sprintf("spoke%d", i),
+			Rate:  float64(10+rng.Intn(90)) * 1e6,
+			Delay: time.Duration(1+rng.Intn(4)) * time.Millisecond,
+		}
+		up, down := f.Duplex(h, hub, cfg, ackMirror(cfg))
+		n.spoke = append(n.spoke, up)
+		n.rspk = append(n.rspk, down)
+	}
+	f.Compile()
+
+	n.logs = make([][]starEvent, hosts)
+	for i, h := range n.hosts {
+		i, h := i, h
+		hrng := rand.New(rand.NewSource(seed*1000003 + int64(i)))
+		sim := h.Sim()
+		h.SetHandler(func(pkt *Packet) {
+			n.logs[i] = append(n.logs[i], starEvent{
+				at: sim.Now(), src: pkt.Src, flow: pkt.Flow, seq: pkt.Seq, size: pkt.Size,
+			})
+			if pkt.Seq < starHops {
+				// Bounce it back, one hop older. The reply size draws
+				// from the host's own RNG: if delivery order at this
+				// host ever depended on domain scheduling, the draws
+				// would diverge and the logs with them.
+				r := sim.Pool().Get()
+				r.Kind = Data
+				r.Flow = pkt.Flow
+				r.Seq = pkt.Seq + 1
+				r.Dst = pkt.Src
+				r.Size = 100 + hrng.Intn(1300)
+				h.Send(r)
+			}
+			pkt.Release()
+		})
+		// Pre-armed opening sends at random instants to random peers.
+		for k := 0; k < 30; k++ {
+			at := time.Duration(hrng.Int63n(int64(200 * time.Millisecond)))
+			peer := n.hosts[hrng.Intn(hosts)]
+			if peer == h {
+				continue
+			}
+			size := 100 + hrng.Intn(1300)
+			flow := FlowID(i*1000 + k)
+			dst := peer.ID()
+			sim.ScheduleAt(at, func() {
+				p := sim.Pool().Get()
+				p.Kind = Data
+				p.Flow = flow
+				p.Dst = dst
+				p.Size = size
+				h.Send(p)
+			})
+		}
+	}
+	return n
+}
+
+func runStar(t *testing.T, domains, hosts int, seed int64) *starNet {
+	t.Helper()
+	c := NewCluster(domains)
+	n := buildStar(c, hosts, seed)
+	c.RunAll()
+	if p := c.Pending(); p != 0 {
+		t.Fatalf("domains=%d seed=%d: %d events still pending after RunAll", domains, seed, p)
+	}
+	for i := 0; i < c.N(); i++ {
+		if out := c.Sim(i).Pool().Stats().Outstanding(); out != 0 {
+			t.Errorf("domains=%d seed=%d: domain %d pool leaks %d packets", domains, seed, i, out)
+		}
+	}
+	return n
+}
+
+// TestClusterDifferential is the frontier tie-breaking property test:
+// random cross-domain traffic replayed at domains=1 vs domains=N must
+// produce identical per-host delivery sequences (order, timestamps,
+// contents) and identical link ledgers, across seeds and domain
+// counts.
+func TestClusterDifferential(t *testing.T) {
+	const hosts = 12
+	for seed := int64(1); seed <= 5; seed++ {
+		base := runStar(t, 1, hosts, seed)
+		for _, domains := range []int{2, 3, 5} {
+			got := runStar(t, domains, hosts, seed)
+			for i := range base.logs {
+				if len(base.logs[i]) != len(got.logs[i]) {
+					t.Fatalf("seed=%d domains=%d host %d: %d deliveries, want %d",
+						seed, domains, i, len(got.logs[i]), len(base.logs[i]))
+				}
+				for j := range base.logs[i] {
+					if base.logs[i][j] != got.logs[i][j] {
+						t.Fatalf("seed=%d domains=%d host %d delivery %d: %+v, want %+v",
+							seed, domains, i, j, got.logs[i][j], base.logs[i][j])
+					}
+				}
+			}
+			for i := range base.spoke {
+				if b, g := base.spoke[i].Stats(), got.spoke[i].Stats(); b != g {
+					t.Errorf("seed=%d domains=%d spoke %d ledger: %+v, want %+v", seed, domains, i, g, b)
+				}
+				if b, g := base.rspk[i].Stats(), got.rspk[i].Stats(); b != g {
+					t.Errorf("seed=%d domains=%d rspoke %d ledger: %+v, want %+v", seed, domains, i, g, b)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterHorizonStop pins Run's horizon semantics: stopping
+// mid-simulation at an arbitrary horizon must leave every domain
+// clock at the horizon (work pending), and resuming must produce the
+// same final state as one uninterrupted run.
+func TestClusterHorizonStop(t *testing.T) {
+	const hosts = 8
+	base := runStar(t, 1, hosts, 42)
+
+	c := NewCluster(3)
+	n := buildStar(c, hosts, 42)
+	for h := 10 * time.Millisecond; ; h += 37 * time.Millisecond {
+		if end := c.Run(h); c.Pending() == 0 {
+			break
+		} else if end != h {
+			t.Fatalf("horizon stop at %v returned %v with %d pending", h, end, c.Pending())
+		}
+	}
+	for i := range base.logs {
+		if len(base.logs[i]) != len(n.logs[i]) {
+			t.Fatalf("host %d: %d deliveries after chunked runs, want %d", i, len(n.logs[i]), len(base.logs[i]))
+		}
+		for j := range base.logs[i] {
+			if base.logs[i][j] != n.logs[i][j] {
+				t.Fatalf("host %d delivery %d: %+v, want %+v", i, j, n.logs[i][j], base.logs[i][j])
+			}
+		}
+	}
+}
+
+// TestClusterFrontierValidation pins the lookahead preconditions:
+// a zero-delay cross-domain link and an impaired cross-domain link
+// must both refuse to run.
+func TestClusterFrontierValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero-delay frontier", func() {
+		c := NewCluster(2)
+		f := NewFabricOn(c)
+		a := f.Host("a")
+		b := f.HostIn(1, "b")
+		f.Connect(a, b, LinkConfig{Name: "x", Rate: 1e6})
+		f.Compile()
+		c.Run(time.Second)
+	})
+	mustPanic("impaired frontier", func() {
+		c := NewCluster(2)
+		f := NewFabricOn(c)
+		a := f.Host("a")
+		b := f.HostIn(1, "b")
+		l := f.Connect(a, b, LinkConfig{Name: "x", Rate: 1e6, Delay: time.Millisecond})
+		f.Compile()
+		l.AttachImpairments(&Impairments{})
+		c.Run(time.Second)
+	})
+}
+
+// TestClusterBarrierStop pins StopAtBarrier determinism: the stop
+// window is a function of the event timeline, so two identical runs
+// stop at the identical clock with identical logs.
+func TestClusterBarrierStop(t *testing.T) {
+	run := func() (time.Duration, int) {
+		c := NewCluster(3)
+		n := buildStar(c, 8, 7)
+		seen := 0
+		c.StopAtBarrier(func() bool {
+			seen = 0
+			for i := range n.logs {
+				seen += len(n.logs[i])
+			}
+			return seen >= 50
+		})
+		end := c.RunAll()
+		return end, seen
+	}
+	e1, s1 := run()
+	e2, s2 := run()
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("barrier stop not reproducible: (%v, %d) vs (%v, %d)", e1, s1, e2, s2)
+	}
+	if s1 < 50 {
+		t.Fatalf("barrier stop fired early: %d deliveries", s1)
+	}
+	if e1 == 0 || e1 == time.Duration(math.MaxInt64) {
+		t.Fatalf("implausible stop clock %v", e1)
+	}
+}
+
+// TestTreeDomainHint checks the manual placement override: subtree g
+// goes exactly where the hint says, everything else stays in domain 0,
+// and the cluster's lookahead is the delay of the links the hinted
+// groups actually cross.
+func TestTreeDomainHint(t *testing.T) {
+	hint := []int{2, 0, 1}
+	spec := TreeSpec{
+		Groups: 3, HostsPerGroup: 2, Servers: 2,
+		Core:       LinkConfig{Rate: 1e8, Delay: 3 * time.Millisecond, QueueBytes: 1 << 20},
+		Agg:        LinkConfig{Rate: 1e8, Delay: 2 * time.Millisecond, QueueBytes: 1 << 20},
+		Access:     LinkConfig{Rate: 1e8, Delay: time.Millisecond, QueueBytes: 1 << 20},
+		DomainHint: func(g int) int { return hint[g] },
+	}
+	c := NewCluster(3)
+	tree := NewTreeOn(c, spec)
+	for g := 0; g < spec.Groups; g++ {
+		want := c.Sim(hint[g])
+		for h := 0; h < spec.HostsPerGroup; h++ {
+			if got := tree.Clients[g*spec.HostsPerGroup+h].Sim(); got != want {
+				t.Errorf("group %d client %d in wrong domain", g, h)
+			}
+		}
+	}
+	for s, h := range tree.Servers {
+		if h.Sim() != c.Sim(0) {
+			t.Errorf("server %d left domain 0 without a hint", s)
+		}
+	}
+	// Group 1 is hinted into the root's own domain, so only the agg
+	// duplexes of groups 0 and 2 are frontiers: lookahead is their
+	// 2 ms delay, not the 3 ms core or the 1 ms access.
+	if la := c.Lookahead(); la != 2*time.Millisecond {
+		t.Errorf("lookahead = %v, want 2ms", la)
+	}
+}
+
+// TestTreeDomainHintRange checks that a hint outside [0, N) fails
+// loudly at build time instead of silently corrupting placement.
+func TestTreeDomainHintRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range DomainHint did not panic")
+		}
+	}()
+	spec := TreeSpec{
+		Groups: 1, HostsPerGroup: 1,
+		Core:       LinkConfig{Rate: 1e8, Delay: time.Millisecond, QueueBytes: 1 << 20},
+		Agg:        LinkConfig{Rate: 1e8, Delay: time.Millisecond, QueueBytes: 1 << 20},
+		Access:     LinkConfig{Rate: 1e8, Delay: time.Millisecond, QueueBytes: 1 << 20},
+		DomainHint: func(int) int { return 5 },
+	}
+	NewTreeOn(NewCluster(2), spec)
+}

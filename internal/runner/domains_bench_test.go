@@ -1,0 +1,35 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkTreeDomains is the committed-baseline gate for parallel
+// event domains (BENCH_domains.json via cmd/benchgate): the same
+// 600-flow shard replayed monolithically (domains=1, the old code
+// path) and split across a 10-way partition (four aggregation
+// subtrees, the root, and four server blocks, enabled by the positive
+// server access delay). The domains=1 variant guards the scheduler's
+// composite-key refactor against sequential regressions; the ratio of
+// the two variants is the measured parallel speedup, which benchgate's
+// -minspeedup enforces when the machine has enough cores to express it
+// (the run is skipped with a notice below GOMAXPROCS=4, where a
+// barrier-synchronized cluster cannot reach 2×).
+func BenchmarkTreeDomains(b *testing.B) {
+	for _, n := range []int{1, 10} {
+		b.Run(fmt.Sprintf("domains=%d", n), func(b *testing.B) {
+			j := testFleetJob(1200) // 2 shards → 600 flows in shard 0
+			j.Fleet.ServerAccessDelay = 2 * time.Millisecond
+			j.Domains = n
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := RunFleetShard(j)
+				if got := r.Completed(); got != len(r.Flows) {
+					b.Fatalf("only %d/%d flows completed", got, len(r.Flows))
+				}
+			}
+		})
+	}
+}

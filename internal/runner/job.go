@@ -65,12 +65,25 @@ type Job struct {
 	// the flow starts — the hook where chaos attaches impairment stages
 	// and receiver fault modes.
 	Impair func(env ChaosEnv)
+	// Domains > 1 partitions the simulation into that many parallel
+	// event domains (netsim.Cluster): sender in one, core wire plus
+	// impaired last hop plus client in the other. Results are identical
+	// to the monolithic run — the cluster's lookahead protocol is
+	// deterministic — just computed on more cores. Sim backend only.
+	// Observed jobs fall back to a monolithic run: flight recorders are
+	// shared rings, and domains running concurrently would race on them.
+	Domains int
 }
 
 // ChaosEnv is what an Impair hook gets to work with: the simulation,
 // the built path, the flow about to start, the scenario's RNG, and the
 // derived seed so hooks can build private RNG streams that stay
 // decoupled from the scenario's own draws.
+//
+// In a multi-domain run (Job.Domains > 1) Sim is the event domain that
+// owns the impairable end of the path — the last hop and the receiver —
+// which is where every catalog impairment attaches. Hooks touching the
+// sender side must schedule through Path.Sender.Sim() instead.
 type ChaosEnv struct {
 	Sim  *netsim.Simulator
 	Path *netsim.Path
@@ -136,13 +149,26 @@ func Download(j Job) DownloadResult {
 	}
 	sc := j.Scenario
 	sc.Seed = sc.Seed*1000003 + int64(j.Iter)*7919 + 1
-	sim := netsim.NewSimulator()
-	p, rng := sc.Build(sim)
+	var (
+		eng Engine
+		p   *netsim.Path
+		rng *rand.Rand
+	)
+	multi := j.Domains > 1 && !j.Observe
+	if multi {
+		c := netsim.NewCluster(j.Domains)
+		p, rng = sc.BuildOn(c)
+		eng = c
+	} else {
+		sim := netsim.NewSimulator()
+		p, rng = sc.Build(sim)
+		eng = sim
+	}
 	cfg := tcp.DefaultConfig()
 	if j.Transport != nil {
 		cfg = *j.Transport
 	}
-	f := tcp.NewFlow(sim, cfg, 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), j.Size, nil)
+	f := tcp.NewFlow(p.Sim, cfg, 1, p.Sender, tcp.NewDemux(p.Sender), p.Receiver, tcp.NewDemux(p.Receiver), j.Size, nil)
 	var ctrl cc.Controller
 	if j.Algo == Suss && j.SussOpt != nil {
 		ctrl = core.New(f.Sender, *j.SussOpt)
@@ -151,7 +177,7 @@ func Download(j Job) DownloadResult {
 	}
 	f.Sender.SetController(ctrl)
 	var reg *obs.Registry
-	if j.Observe || j.WallLimit > 0 {
+	if (j.Observe || j.WallLimit > 0) && !multi {
 		reg = obs.NewRegistry(0)
 		fr := reg.Flow(1)
 		f.Sender.AttachRecorder(fr)
@@ -166,15 +192,19 @@ func Download(j Job) DownloadResult {
 		}
 	}
 	if j.Impair != nil {
-		j.Impair(ChaosEnv{Sim: sim, Path: p, Flow: f, RNG: rng, Seed: sc.Seed})
+		envSim := p.Sim
+		if s := p.Receiver.Sim(); s != nil {
+			envSim = s
+		}
+		j.Impair(ChaosEnv{Sim: envSim, Path: p, Flow: f, RNG: rng, Seed: sc.Seed})
 	}
-	f.StartAt(sim, 0)
+	f.StartAt(p.Sim, 0)
 	horizon := j.Horizon
 	if horizon <= 0 {
 		horizon = DefaultHorizon
 	}
 	var stall *StallError
-	if _, err := RunGuarded(sim, reg, horizon, j.WallLimit, j.describe()); err != nil {
+	if _, err := RunGuarded(eng, reg, horizon, j.WallLimit, j.describe()); err != nil {
 		stall = err.(*StallError)
 	}
 

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"suss/internal/netsim"
 	"suss/internal/obs"
 )
 
@@ -51,17 +50,27 @@ func (e *StallError) Dump() string {
 	return b.String()
 }
 
+// Engine is the simulation driver RunGuarded watches: the
+// single-threaded netsim.Simulator or a multi-domain netsim.Cluster.
+// Both stop at the next event boundary when the StopWhen predicate
+// fires.
+type Engine interface {
+	Run(until time.Duration) time.Duration
+	Pending() int
+	StopWhen(pred func() bool)
+}
+
 // RunGuarded runs sim up to the virtual-time horizon under a
 // wall-clock watchdog. If the budget expires before the simulation
 // drains, the run is stopped at the next event boundary and a
 // *StallError is returned carrying the last flight-recorder events
 // from reg (nil reg = no tail). wall <= 0 disables the watchdog.
 //
-// The simulator is single-threaded and its Halt is not safe to call
-// from another goroutine, so the expiry crosses goroutines through an
-// atomic flag read by a StopWhen predicate — checked after every
-// event, including mid-batch.
-func RunGuarded(sim *netsim.Simulator, reg *obs.Registry, horizon, wall time.Duration, desc string) (time.Duration, error) {
+// The engine is not safe to halt from another goroutine directly, so
+// the expiry crosses goroutines through an atomic flag read by a
+// StopWhen predicate — checked after every event, including
+// mid-batch, and safe for the concurrent calls a Cluster makes.
+func RunGuarded(sim Engine, reg *obs.Registry, horizon, wall time.Duration, desc string) (time.Duration, error) {
 	if wall <= 0 {
 		return sim.Run(horizon), nil
 	}
