@@ -10,7 +10,7 @@ BENCH_HEAD ?= bench.head.txt
 # gates at zero increase).
 BENCH_TOL ?= 0.10
 
-.PHONY: check build vet test testdebug race allocgate chaos interop fuzz-short fleet-smoke domains bench bench-sched bench-baseline bench-compare bench-record bench-gate clean
+.PHONY: check build vet test testdebug race allocgate chaos interop fuzz-short fleet-smoke sussd-smoke domains bench bench-sched bench-baseline bench-compare bench-record bench-gate clean
 
 # The full gate CI runs: build + vet + tests (including the
 # AllocsPerRun zero-allocation gates in internal/netsim) + the
@@ -76,6 +76,15 @@ fuzz-short:
 # FCT delta is reported in the -v log.
 fleet-smoke:
 	$(GO) test -race -timeout 900s -run 'TestFleetSmoke' -v ./internal/experiments
+
+# Experiment-service smoke under -race, two real processes: a sussd
+# daemon (run via sussim -daemon) and a sussim -submit client sending
+# the same fig11 matrix twice. The second pass must be 100% cache hits
+# with zero additional simulator runs, and both passes' CSV must be
+# byte-identical to the in-process sweep — the content-addressed
+# caching contract end to end over the wire.
+sussd-smoke:
+	$(GO) test -race -timeout 300s -run 'TestSussdSmoke' -v ./cmd/sussim
 
 # Parallel-event-domain determinism under -race: the cluster protocol
 # tests plus every differential that replays the same workload

@@ -1,0 +1,65 @@
+// Command sussd is the warm experiment daemon: the same sweeps
+// cmd/sussbench and cmd/sussim run, kept resident behind an HTTP/JSON
+// API with content-addressed result caching. Submitting a job matrix
+// the daemon has already simulated — in any earlier batch, under any
+// spelling of the defaulted fields — returns the identical CSV with
+// zero simulator runs.
+//
+// Usage:
+//
+//	sussd -addr 127.0.0.1:7077
+//	curl -s localhost:7077/v1/stats
+//	sussim -submit http://127.0.0.1:7077 -spec '{"kind":"fig11","iters":3}'
+//
+// See internal/service for the API and DESIGN.md for the cache-keying
+// rules.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"suss/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address (port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "max concurrently simulating cells (0 = GOMAXPROCS)")
+	wallLimit := flag.Duration("walllimit", 0, "per-cell wall-clock watchdog; a stalled cell errors instead of hanging the batch (0 = off)")
+	flag.Parse()
+
+	srv := service.New(service.Config{Workers: *workers, WallLimit: *wallLimit})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address line is the startup handshake: wrappers (the
+	// sussd smoke test, scripts using port 0) parse it to find the port.
+	fmt.Printf("sussd listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sussd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+	}
+}

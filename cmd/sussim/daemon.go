@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"suss/internal/service"
+)
+
+// runDaemon runs the experiment service in-process — the same server
+// cmd/sussd wraps, exposed here so one binary can play both sides of a
+// two-process smoke test.
+func runDaemon(addr string, workers int) error {
+	srv := service.New(service.Config{Workers: workers})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sussd listening on %s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}
+
+// runSubmit is the daemon client: submit a JSON job spec, follow
+// progress, write the result CSV to stdout (or -o file), and print a
+// machine-parseable summary line to stderr:
+//
+//	cells=48 cached=48 sim_runs=96 cache_hits=48 cache_misses=48
+//
+// sim_runs is the daemon's process-wide simulator-run counter; a warm
+// resubmission leaves it unchanged.
+func runSubmit(baseURL, spec, outPath string) error {
+	baseURL = strings.TrimRight(baseURL, "/")
+	if err := waitHTTP(baseURL, 10*time.Second); err != nil {
+		return err
+	}
+	hc := &http.Client{} // no timeout: the result call blocks until the batch finishes
+
+	var req service.SubmitRequest
+	if err := json.Unmarshal([]byte(spec), &req); err != nil {
+		return fmt.Errorf("bad -spec JSON: %w", err)
+	}
+	body, _ := json.Marshal(req)
+	resp, err := hc.Post(baseURL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var sub service.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		return fmt.Errorf("submit response %q: %w", raw, err)
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s: %s, %d cells (%d already cached)\n", sub.ID, sub.Kind, sub.Cells, sub.Cached)
+
+	go streamProgress(hc, baseURL, sub.ID)
+
+	resp, err = hc.Get(baseURL + "/v1/jobs/" + sub.ID + "/result?wait=1")
+	if err != nil {
+		return err
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(csv)))
+	}
+
+	if outPath != "" && outPath != "-" {
+		if err := os.WriteFile(outPath, csv, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	} else {
+		os.Stdout.Write(csv)
+	}
+
+	st, err := finalStatus(hc, baseURL, sub.ID)
+	if err != nil {
+		return err
+	}
+	stats, err := daemonStats(hc, baseURL)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cells=%d cached=%d sim_runs=%d cache_hits=%d cache_misses=%d\n",
+		st.Cells, st.Cached, stats.SimRuns, stats.CacheHits, stats.CacheMisses)
+	if st.Errors > 0 {
+		return fmt.Errorf("%d cell(s) failed", st.Errors)
+	}
+	return nil
+}
+
+// streamProgress mirrors the batch's NDJSON progress stream onto
+// stderr; best-effort (the result call is the authoritative wait).
+func streamProgress(hc *http.Client, baseURL, id string) {
+	resp, err := hc.Get(baseURL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var st service.JobStatus
+		if err := dec.Decode(&st); err != nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\r[%s] %d/%d cells (cached %d, running %d)", id,
+			st.Done+st.Cached+st.Errors, st.Cells, st.Cached, st.Running)
+		if st.State != "running" {
+			fmt.Fprintln(os.Stderr)
+			return
+		}
+	}
+}
+
+func finalStatus(hc *http.Client, baseURL, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	resp, err := hc.Get(baseURL + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func daemonStats(hc *http.Client, baseURL string) (service.Stats, error) {
+	var st service.Stats
+	resp, err := hc.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// waitHTTP polls the daemon's stats endpoint until it answers —
+// startup synchronization for scripted two-process runs.
+func waitHTTP(baseURL string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := http.Get(strings.TrimRight(baseURL, "/") + "/v1/stats")
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not answering: %w", baseURL, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

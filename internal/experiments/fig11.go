@@ -35,30 +35,61 @@ type Fig11Result struct {
 	Ledgers []obs.LossLedger
 }
 
-// RunFig11 declares the whole sweep — link types × flow sizes ×
-// algorithms × iterations — as one job slice and aggregates the
-// results back into the figure's grid.
-func RunFig11(server scenarios.Server, sizes []int64, iters int, seed int64, opts ...Option) Fig11Result {
-	cfg := newConfig(opts)
-	res := Fig11Result{
-		Server: server,
-		Links:  []netem.LinkType{netem.NR5G, netem.Wired, netem.WiFi, netem.LTE4G},
-		Sizes:  sizes,
-		Algos:  []Algo{BBR, Suss, Cubic},
-	}
+// Fig11Links is the sweep's last-hop column order.
+func Fig11Links() []netem.LinkType {
+	return []netem.LinkType{netem.NR5G, netem.Wired, netem.WiFi, netem.LTE4G}
+}
+
+// Fig11Algos is the sweep's algorithm row order.
+func Fig11Algos() []Algo { return []Algo{BBR, Suss, Cubic} }
+
+// Fig11Jobs declares the sweep — link types × flow sizes × algorithms ×
+// iterations — as a plain job slice in the exact order Fig11FromResults
+// consumes. Extracted so callers that execute jobs themselves (the
+// experiment service caches them individually) build the identical
+// matrix the in-process sweep runs.
+func Fig11Jobs(server scenarios.Server, sizes []int64, iters int, seed int64) []runner.Job {
 	var jobs []runner.Job
-	for li, lt := range res.Links {
+	for li, lt := range Fig11Links() {
 		sc := scenarios.New(server, lt, seed+int64(li))
 		for _, size := range sizes {
-			for _, algo := range res.Algos {
+			for _, algo := range Fig11Algos() {
 				for it := 0; it < iters; it++ {
-					jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it, Observe: cfg.lossAcct, Domains: cfg.domains})
+					jobs = append(jobs, runner.Job{Scenario: sc, Algo: algo, Size: size, Iter: it})
 				}
 			}
 		}
 	}
+	return jobs
+}
+
+// RunFig11 runs the whole sweep as one batch on the worker pool and
+// aggregates the results back into the figure's grid.
+func RunFig11(server scenarios.Server, sizes []int64, iters int, seed int64, opts ...Option) Fig11Result {
+	cfg := newConfig(opts)
+	jobs := Fig11Jobs(server, sizes, iters, seed)
+	for i := range jobs {
+		jobs[i].Observe = cfg.lossAcct
+		jobs[i].Domains = cfg.domains
+	}
 	out := runner.Run(cfg.ctx, jobs, cfg.pool())
-	if cfg.lossAcct {
+	return Fig11FromResults(server, sizes, iters, out, cfg.lossAcct)
+}
+
+// Fig11FromResults aggregates a result slice laid out like Fig11Jobs
+// into the figure's grid. lossAcct aggregates the per-download ledgers
+// (results must then carry them, i.e. the jobs ran observed).
+func Fig11FromResults(server scenarios.Server, sizes []int64, iters int, out []runner.Result, lossAcct bool) Fig11Result {
+	res := Fig11Result{
+		Server: server,
+		Links:  Fig11Links(),
+		Sizes:  sizes,
+		Algos:  Fig11Algos(),
+	}
+	if want := len(res.Links) * len(sizes) * len(res.Algos) * iters; len(out) != want {
+		panic(fmt.Sprintf("experiments: Fig11FromResults got %d results, want %d", len(out), want))
+	}
+	if lossAcct {
 		res.Ledgers = make([]obs.LossLedger, len(res.Links))
 	}
 
@@ -71,7 +102,7 @@ func RunFig11(server scenarios.Server, sizes []int64, iters int, seed int64, opt
 			var cubicMean, sussMean float64
 			for _, algo := range res.Algos {
 				batch := out[k : k+iters]
-				if cfg.lossAcct {
+				if lossAcct {
 					for _, r := range batch {
 						if r.Ledger != nil {
 							res.Ledgers[li].Add(*r.Ledger)

@@ -115,6 +115,61 @@ type FleetResult struct {
 	Errs []error
 }
 
+// Normalized returns the config with the documented defaults filled
+// in: the reference fleet tree when none is set, at least one shard.
+// RunFleet and FleetJobs apply it; the experiment service hashes the
+// normalized form so defaulted and explicit configs cache identically.
+func (fc FleetConfig) Normalized() FleetConfig {
+	if fc.Fleet.Groups == 0 {
+		fc.Fleet = scenarios.DefaultFleet(fc.Seed)
+	}
+	if fc.Shards <= 0 {
+		fc.Shards = 1
+	}
+	return fc
+}
+
+// Population returns the flow population RunFleet replays: Poisson
+// arrivals at the configured rate, the configured (or default) class
+// mix, first arrival at 100 ms.
+func (fc FleetConfig) Population() workload.PopulationSpec {
+	mix := fc.Mix
+	if mix == nil {
+		mix = workload.DefaultMix()
+	}
+	return workload.PopulationSpec{
+		Flows:    fc.Flows,
+		Arrivals: workload.PoissonArrivals{Rate: fc.ArrivalRate},
+		Mix:      mix,
+		Seed:     fc.Seed,
+		Start:    100 * time.Millisecond,
+	}
+}
+
+// FleetJobs returns the two per-variant shard-job templates (index 0 =
+// SUSS off, 1 = on) the fleet comparison runs. Shard is left zero:
+// runner.RunFleet ranges it, and callers executing shards themselves
+// set it per cell.
+func FleetJobs(fc FleetConfig) [2]runner.FleetJob {
+	fc = fc.Normalized()
+	pop := fc.Population()
+	var out [2]runner.FleetJob
+	for variant := 0; variant < 2; variant++ {
+		algo := Cubic
+		if variant == 1 {
+			algo = Suss
+		}
+		out[variant] = runner.FleetJob{
+			Fleet:   fc.Fleet,
+			Algo:    algo,
+			Pop:     pop,
+			Shards:  fc.Shards,
+			Horizon: fc.Horizon,
+		}
+	}
+	return out
+}
+
 // RunFleet runs the population twice — SUSS off, then on — over the
 // identical sharded population and merges the per-class FCT
 // distributions. Rendered output and CSV bytes are identical at any
@@ -122,24 +177,22 @@ type FleetResult struct {
 // collected by index.
 func RunFleet(fc FleetConfig, opts ...Option) FleetResult {
 	cfg := newConfig(opts)
-	if fc.Fleet.Groups == 0 {
-		fc.Fleet = scenarios.DefaultFleet(fc.Seed)
+	fc = fc.Normalized()
+	jobs := FleetJobs(fc)
+	var shards [2][]runner.FleetResult
+	for variant := range jobs {
+		jobs[variant].Observe = cfg.lossAcct
+		jobs[variant].Domains = cfg.domains
+		shards[variant] = runner.RunFleet(cfg.ctx, jobs[variant], cfg.pool())
 	}
-	if fc.Shards <= 0 {
-		fc.Shards = 1
-	}
-	mix := fc.Mix
-	if mix == nil {
-		mix = workload.DefaultMix()
-	}
-	pop := workload.PopulationSpec{
-		Flows:    fc.Flows,
-		Arrivals: workload.PoissonArrivals{Rate: fc.ArrivalRate},
-		Mix:      mix,
-		Seed:     fc.Seed,
-		Start:    100 * time.Millisecond,
-	}
+	return FleetFromShards(fc, shards, cfg.lossAcct)
+}
 
+// FleetFromShards merges per-variant, shard-ordered results into the
+// population comparison — the aggregation half of RunFleet, split out
+// so the experiment service can assemble a result from individually
+// cached shards. fc should be normalized.
+func FleetFromShards(fc FleetConfig, byVariant [2][]runner.FleetResult, lossAcct bool) FleetResult {
 	res := FleetResult{Config: fc}
 	classes := workload.Classes()
 	byClass := make(map[workload.Class]*FleetClassStats, len(classes))
@@ -151,20 +204,7 @@ func RunFleet(fc FleetConfig, opts ...Option) FleetResult {
 	// and all collect them across classes for the headline deltas.
 	var small, all [2][]float64
 	for variant := 0; variant < 2; variant++ {
-		algo := Cubic
-		if variant == 1 {
-			algo = Suss
-		}
-		job := runner.FleetJob{
-			Fleet:   fc.Fleet,
-			Algo:    algo,
-			Pop:     pop,
-			Shards:  fc.Shards,
-			Horizon: fc.Horizon,
-			Observe: cfg.lossAcct,
-			Domains: cfg.domains,
-		}
-		shards := runner.RunFleet(cfg.ctx, job, cfg.pool())
+		shards := byVariant[variant]
 
 		perClass := make(map[workload.Class][]float64, len(classes))
 		var jain float64
@@ -177,7 +217,7 @@ func RunFleet(fc FleetConfig, opts ...Option) FleetResult {
 			coreDel += sr.Core.DeliveredPackets
 			coreDrop += sr.Core.DroppedPackets
 			res.TotalDrops[variant] += sr.TotalDataDrops
-			if cfg.lossAcct && sr.Ledger != nil {
+			if lossAcct && sr.Ledger != nil {
 				if res.Ledgers[variant] == nil {
 					res.Ledgers[variant] = &obs.LossLedger{}
 				}

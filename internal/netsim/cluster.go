@@ -183,6 +183,11 @@ func (c *Cluster) StopWhen(pred func() bool) {
 	}
 }
 
+// StopPred returns the currently installed StopWhen predicate (nil when
+// none), mirroring Simulator.StopPred so the runner watchdog can
+// compose with and restore a caller's predicate.
+func (c *Cluster) StopPred() func() bool { return c.stopWhen }
+
 // StopAtBarrier installs a predicate evaluated by the coordinator at
 // each window barrier, with every domain parked and all frontier
 // traffic handed over. The window structure is a pure function of the

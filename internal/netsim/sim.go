@@ -296,6 +296,12 @@ func (s *Simulator) releaseSlot(idx int32) {
 // returns true, Run returns. Pass nil to clear.
 func (s *Simulator) StopWhen(pred func() bool) { s.stopWhen = pred }
 
+// StopPred returns the currently installed StopWhen predicate (nil when
+// none). Wrappers that need to run under an additional stop condition —
+// the runner's wall-clock watchdog — read it to compose with and later
+// restore the caller's predicate instead of clobbering it.
+func (s *Simulator) StopPred() func() bool { return s.stopWhen }
+
 // Halt stops the run loop after the current event completes.
 func (s *Simulator) Halt() { s.halted = true }
 

@@ -1,0 +1,13 @@
+package runner
+
+import "sync/atomic"
+
+// simRuns counts simulator executions process-wide: every Download and
+// every RunFleetShard that actually builds and runs a simulation. The
+// experiment service's cache tests read it to prove that a cache hit
+// touched no simulator at all; it never resets, so callers diff
+// snapshots instead of comparing absolutes.
+var simRuns atomic.Int64
+
+// SimRuns returns the number of simulations this process has executed.
+func SimRuns() int64 { return simRuns.Load() }

@@ -109,6 +109,11 @@ type ShardResult struct {
 	SimEnd time.Duration
 	// Stall is non-nil when the watchdog killed the shard.
 	Stall *StallError
+	// Err reports a shard that could not run at all (a degenerate
+	// Fleet with no clients or servers); the other fields are zero.
+	// Execution failures keep their dedicated channels: watchdog kills
+	// land in Stall, panics in FleetResult.Err.
+	Err error `json:"-"`
 }
 
 // Completed counts finished flows.
@@ -131,6 +136,15 @@ func RunFleetShard(j FleetJob) ShardResult {
 	if j.Shards <= 0 {
 		j.Shards = 1
 	}
+	// A degenerate tree has no leaf to place a flow on; the round-robin
+	// spread below would divide by zero. Failing up front keeps the
+	// root cause readable instead of burying it in panic capture.
+	if j.Fleet.Groups <= 0 || j.Fleet.HostsPerGroup <= 0 || j.Fleet.Servers <= 0 {
+		return ShardResult{Shard: j.Shard, Algo: j.Algo, Err: fmt.Errorf(
+			"runner: degenerate fleet for %s: groups=%d hosts/group=%d servers=%d (all must be positive)",
+			j.describe(), j.Fleet.Groups, j.Fleet.HostsPerGroup, j.Fleet.Servers)}
+	}
+	simRuns.Add(1)
 	flows := j.Pop.Shard(j.Shard, j.Shards)
 
 	fl := j.Fleet
@@ -310,7 +324,10 @@ func RunFleet(ctx context.Context, j FleetJob, opt Options) []FleetResult {
 		sj := j
 		sj.Shard = shard
 		r := RunFleetShard(sj)
-		if r.Stall != nil {
+		switch {
+		case r.Err != nil:
+			return r, r.Err
+		case r.Stall != nil:
 			return r, fmt.Errorf("%s: %w", sj.describe(), r.Stall)
 		}
 		return r, nil

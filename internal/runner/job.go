@@ -143,10 +143,12 @@ func Download(j Job) DownloadResult {
 	switch j.Backend {
 	case "", "sim":
 	case "pipe":
+		simRuns.Add(1)
 		return downloadPipe(j)
 	default:
 		panic("runner: unknown backend " + j.Backend)
 	}
+	simRuns.Add(1)
 	sc := j.Scenario
 	sc.Seed = sc.Seed*1000003 + int64(j.Iter)*7919 + 1
 	var (

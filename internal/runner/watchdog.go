@@ -58,6 +58,10 @@ type Engine interface {
 	Run(until time.Duration) time.Duration
 	Pending() int
 	StopWhen(pred func() bool)
+	// StopPred reads back the installed StopWhen predicate so the
+	// watchdog can compose with a caller's stop condition instead of
+	// replacing it.
+	StopPred() func() bool
 }
 
 // RunGuarded runs sim up to the virtual-time horizon under a
@@ -74,9 +78,18 @@ func RunGuarded(sim Engine, reg *obs.Registry, horizon, wall time.Duration, desc
 	if wall <= 0 {
 		return sim.Run(horizon), nil
 	}
+	// The caller may already have a semantic stop condition installed
+	// (RunFleetShard's all-flows-done early exit). The watchdog must not
+	// replace it: the run stops when either predicate fires, and the
+	// caller's predicate is restored on return.
+	caller := sim.StopPred()
 	var expired atomic.Bool
-	sim.StopWhen(func() bool { return expired.Load() })
-	defer sim.StopWhen(nil)
+	pred := func() bool { return expired.Load() }
+	if caller != nil {
+		pred = func() bool { return expired.Load() || caller() }
+	}
+	sim.StopWhen(pred)
+	defer sim.StopWhen(caller)
 	t := time.AfterFunc(wall, func() { expired.Store(true) })
 	end := sim.Run(horizon)
 	t.Stop()

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the content-addressed result store: confhash key → encoded
+// cell result. Entries are immutable once stored (a key is a hash of
+// everything that determines the result, so there is nothing to
+// update) and live for the daemon's lifetime — a simulation cell is a
+// few hundred bytes, so even a week of sweeps is megabytes.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string][]byte)}
+}
+
+// Get returns the entry for key and counts the lookup as a hit or a
+// miss. Executors call it exactly once per cell, so the counters read
+// as "cells served from cache" vs "cells that had to simulate".
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	v, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Contains reports presence without touching the hit/miss counters —
+// the submit path uses it to report how much of a batch is already
+// warm.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	c.mu.Unlock()
+	return ok
+}
+
+// Put stores an entry. Storing the same key twice is harmless: both
+// writers computed the value from the same config, so the bytes match.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	c.entries[key] = val
+	c.mu.Unlock()
+}
+
+// Len returns the number of entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Hits returns cells served from cache since startup.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns cells that missed since startup.
+func (c *Cache) Misses() int64 { return c.misses.Load() }

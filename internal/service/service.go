@@ -1,0 +1,375 @@
+// Package service is the warm experiment daemon behind cmd/sussd: the
+// same declarative sweeps the CLI runs (the fig11 FCT matrix, the
+// population-scale fleet comparison) behind an HTTP/JSON API, with
+// every matrix cell content-addressed by a canonical hash of its fully
+// defaulted configuration (internal/service/confhash). Because each
+// cell is a deterministic simulation — same config, same bytes —
+// resubmitting a config the daemon has seen costs zero simulator runs,
+// and a changed sweep only simulates the cells that actually changed.
+//
+// API:
+//
+//	POST /v1/jobs             submit a matrix  → {id, cells, cached}
+//	GET  /v1/jobs             list batches
+//	GET  /v1/jobs/{id}        per-cell status
+//	GET  /v1/jobs/{id}/stream NDJSON progress until terminal
+//	GET  /v1/jobs/{id}/result the CSV the CLI would emit (?wait=1 blocks)
+//	GET  /v1/stats            cache hit/miss/run counters
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"suss/internal/experiments"
+	"suss/internal/runner"
+	"suss/internal/scenarios"
+	"suss/internal/service/confhash"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrently simulating cells (≤0 = GOMAXPROCS).
+	Workers int
+	// WallLimit arms the per-cell wall-clock watchdog (0 = off). A
+	// stalled cell is reported as an error and never cached.
+	WallLimit time.Duration
+}
+
+// Server is the experiment service. Create with New, expose with
+// Handler; safe for concurrent requests.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	start    time.Time
+	cellRuns atomic.Int64 // cells this daemon actually simulated
+
+	mu      sync.Mutex
+	batches map[string]*batch
+	order   []string
+	nextID  int
+}
+
+// New returns an idle server with an empty cache.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:     cfg,
+		cache:   NewCache(),
+		start:   time.Now(),
+		batches: make(map[string]*batch),
+	}
+}
+
+// SubmitRequest is the POST /v1/jobs body. Kind selects the matrix:
+//
+//   - "fig11": Server (scenario server name, default google-tokyo),
+//     Sizes (bytes, default experiments.DefaultSizes), Iters (default
+//     3), Seed (default 1). Cells are links × sizes × algos × iters.
+//   - "fleet": Flows/Shards/Arrival override the smoke-tier
+//     DefaultFleetConfig; FullMix swaps in the heavy-tailed default
+//     mix. Cells are 2 variants × shards.
+type SubmitRequest struct {
+	Kind    string  `json:"kind"`
+	Server  string  `json:"server,omitempty"`
+	Sizes   []int64 `json:"sizes,omitempty"`
+	Iters   int     `json:"iters,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	Flows   int     `json:"flows,omitempty"`
+	Shards  int     `json:"shards,omitempty"`
+	Arrival float64 `json:"arrival,omitempty"`
+	FullMix bool    `json:"fullmix,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission. Cached counts the cells
+// already warm at submit time; the batch runs only the rest.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Cells  int    `json:"cells"`
+	Cached int    `json:"cached"`
+}
+
+// Stats is the GET /v1/stats body. SimRuns is the process-wide
+// simulator-run counter (runner.SimRuns): on a warm resubmission it
+// does not move — the proof the cache served every cell.
+type Stats struct {
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	CellRuns     int64   `json:"cell_runs"`
+	SimRuns      int64   `json:"sim_runs"`
+	Jobs         int     `json:"jobs"`
+	UptimeSec    float64 `json:"uptime_s"`
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	resp, err := s.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Submit validates a request, registers the batch, and starts it in
+// the background. Exposed for in-process embedding (cmd/sussim's
+// -daemon mode shares it with the HTTP path).
+func (s *Server) Submit(req SubmitRequest) (SubmitResponse, error) {
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var keys []string
+	var start func(b *batch)
+	switch req.Kind {
+	case "fig11":
+		p, err := s.planFig11(req, seed)
+		if err != nil {
+			return SubmitResponse{}, err
+		}
+		keys = p.keys
+		start = func(b *batch) { go s.runFig11(b, p) }
+	case "fleet":
+		p, err := s.planFleet(req, seed)
+		if err != nil {
+			return SubmitResponse{}, err
+		}
+		keys = p.keys
+		start = func(b *batch) { go s.runFleet(b, p) }
+	default:
+		return SubmitResponse{}, fmt.Errorf("unknown kind %q (want fig11 or fleet)", req.Kind)
+	}
+
+	cached := 0
+	for _, k := range keys {
+		if s.cache.Contains(k) {
+			cached++
+		}
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "j" + strconv.Itoa(s.nextID)
+	b := newBatch(id, req.Kind, keys)
+	s.batches[id] = b
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	start(b)
+	return SubmitResponse{ID: id, Kind: req.Kind, Cells: len(keys), Cached: cached}, nil
+}
+
+func (s *Server) planFig11(req SubmitRequest, seed int64) (fig11Plan, error) {
+	srv, err := parseServer(req.Server)
+	if err != nil {
+		return fig11Plan{}, err
+	}
+	sizes := req.Sizes
+	if len(sizes) == 0 {
+		sizes = experiments.DefaultSizes
+	}
+	for _, sz := range sizes {
+		if sz <= 0 {
+			return fig11Plan{}, fmt.Errorf("bad size %d: must be positive bytes", sz)
+		}
+	}
+	iters := req.Iters
+	if iters <= 0 {
+		iters = 3
+	}
+	jobs := experiments.Fig11Jobs(srv, sizes, iters, seed)
+	keys := make([]string, len(jobs))
+	for i := range jobs {
+		jobs[i].WallLimit = s.cfg.WallLimit
+		if keys[i], err = confhash.JobKey(jobs[i]); err != nil {
+			return fig11Plan{}, err
+		}
+	}
+	return fig11Plan{server: srv, sizes: sizes, iters: iters, jobs: jobs, keys: keys}, nil
+}
+
+func (s *Server) planFleet(req SubmitRequest, seed int64) (fleetPlan, error) {
+	fc := experiments.DefaultFleetConfig(seed)
+	if req.Flows > 0 {
+		fc.Flows = req.Flows
+	}
+	if req.Shards > 0 {
+		fc.Shards = req.Shards
+	}
+	if req.Arrival > 0 {
+		fc.ArrivalRate = req.Arrival
+	}
+	if req.FullMix {
+		fc.Mix = nil // fall back to workload.DefaultMix
+	}
+	fc = fc.Normalized()
+	jobs := experiments.FleetJobs(fc)
+	keys := make([]string, 0, 2*fc.Shards)
+	for v := range jobs {
+		jobs[v].WallLimit = s.cfg.WallLimit
+		for shard := 0; shard < fc.Shards; shard++ {
+			sj := jobs[v]
+			sj.Shard = shard
+			k, err := confhash.FleetKey(sj)
+			if err != nil {
+				return fleetPlan{}, err
+			}
+			keys = append(keys, k)
+		}
+	}
+	return fleetPlan{fc: fc, jobs: jobs, keys: keys}, nil
+}
+
+func parseServer(name string) (scenarios.Server, error) {
+	if name == "" {
+		return scenarios.GoogleTokyo, nil
+	}
+	for _, srv := range scenarios.Servers {
+		if srv.String() == name {
+			return srv, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown server %q", name)
+}
+
+func (s *Server) batch(id string) *batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if b := s.batch(id); b != nil {
+			st, _ := b.status(false)
+			out = append(out, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	b := s.batch(r.PathValue("id"))
+	if b == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	st, _ := b.status(true)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	b := s.batch(r.PathValue("id"))
+	if b == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-b.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	b.mu.Lock()
+	state, csv, failure := b.state, b.csv, b.failure
+	b.mu.Unlock()
+	switch state {
+	case stateDone:
+		w.Header().Set("Content-Type", "text/csv")
+		w.Write(csv)
+	case stateFailed:
+		writeError(w, http.StatusInternalServerError, "%s", failure)
+	default:
+		st, _ := b.status(false)
+		writeJSON(w, http.StatusConflict, st)
+	}
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	b := s.batch(r.PathValue("id"))
+	if b == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	last := -1
+	for {
+		st, ver := b.status(false)
+		if ver != last {
+			if err := enc.Encode(st); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			last = ver
+		}
+		if st.State != stateRunning {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-b.done:
+			// loop once more to emit the terminal snapshot
+		case <-time.After(150 * time.Millisecond):
+		}
+	}
+}
+
+// ReadStats snapshots the counters (also served at GET /v1/stats).
+func (s *Server) ReadStats() Stats {
+	s.mu.Lock()
+	jobs := len(s.batches)
+	s.mu.Unlock()
+	return Stats{
+		CacheHits:    s.cache.Hits(),
+		CacheMisses:  s.cache.Misses(),
+		CacheEntries: s.cache.Len(),
+		CellRuns:     s.cellRuns.Load(),
+		SimRuns:      runner.SimRuns(),
+		Jobs:         jobs,
+		UptimeSec:    time.Since(s.start).Seconds(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ReadStats())
+}

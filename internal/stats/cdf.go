@@ -53,15 +53,14 @@ func (c CDF) Quantile(q float64) float64 {
 }
 
 // At returns the empirical CDF value P(X ≤ x): the fraction of
-// samples not exceeding x.
+// samples not exceeding x. The upper-bound binary search keeps it
+// O(log n) even when x ties a long run of duplicates (quantized FCTs
+// produce heavy-tie populations).
 func (c CDF) At(x float64) float64 {
 	if len(c.sorted) == 0 {
 		return 0
 	}
-	i := sort.SearchFloat64s(c.sorted, x)
-	for i < len(c.sorted) && c.sorted[i] == x {
-		i++
-	}
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
 	return float64(i) / float64(len(c.sorted))
 }
 

@@ -48,6 +48,42 @@ func TestCDFAt(t *testing.T) {
 	}
 }
 
+// TestCDFAtMatchesNaiveOnTies pins At against the definitional count
+// on heavy-tie populations (quantized FCT grids): the upper-bound
+// binary search must agree with a linear P(X ≤ x) count for every
+// probe, including probes exactly on long duplicate runs.
+func TestCDFAtMatchesNaiveOnTies(t *testing.T) {
+	naive := func(xs []float64, x float64) float64 {
+		n := 0
+		for _, v := range xs {
+			if v <= x {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		// Quantize onto a coarse grid so ties dominate: a few distinct
+		// values shared by hundreds of samples each.
+		levels := 1 + rng.Intn(8)
+		xs := make([]float64, 500)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(levels)) / 4
+		}
+		c := NewCDF(xs)
+		probes := append([]float64{-1, 0, float64(levels) / 4, 100}, xs[:20]...)
+		for i := 0; i < 20; i++ {
+			probes = append(probes, rng.Float64()*float64(levels)/2)
+		}
+		for _, x := range probes {
+			if got, want := c.At(x), naive(xs, x); got != want {
+				t.Fatalf("trial %d: At(%g) = %g, naive count = %g (levels=%d)", trial, x, got, want, levels)
+			}
+		}
+	}
+}
+
 func TestCDFEmpty(t *testing.T) {
 	var c CDF
 	if c.Quantile(0.5) != 0 || c.At(1) != 0 || c.N() != 0 || c.Min() != 0 || c.Max() != 0 {
