@@ -10,7 +10,7 @@ BENCH_HEAD ?= bench.head.txt
 # gates at zero increase).
 BENCH_TOL ?= 0.10
 
-.PHONY: check build vet test testdebug race allocgate chaos interop fuzz-short fleet-smoke sussd-smoke domains bench bench-sched bench-baseline bench-compare bench-record bench-gate clean
+.PHONY: check build vet test testdebug race allocgate chaos interop fuzz-short fleet-smoke fleet-chaos sussd-smoke sussd-faults domains bench bench-sched bench-baseline bench-compare bench-record bench-gate clean
 
 # The full gate CI runs: build + vet + tests (including the
 # AllocsPerRun zero-allocation gates in internal/netsim) + the
@@ -34,10 +34,11 @@ test:
 testdebug:
 	$(GO) test -tags sussdebug ./internal/netsim ./internal/tcp
 
-# The worker pool and the experiment sweeps built on it are the only
-# packages that spawn goroutines; they get a dedicated race pass.
+# The worker pool, the experiment sweeps built on it, and the
+# experiment service (concurrent batch executors, watchers, the shared
+# persistent cache) get a dedicated race pass.
 race:
-	$(GO) test -race ./internal/runner ./internal/experiments
+	$(GO) test -race ./internal/runner ./internal/experiments ./internal/service
 
 # Zero-allocation gates, run explicitly and WITHOUT -race: race
 # instrumentation inserts allocations of its own, so AllocsPerRun is
@@ -77,6 +78,15 @@ fuzz-short:
 fleet-smoke:
 	$(GO) test -race -timeout 900s -run 'TestFleetSmoke' -v ./internal/experiments
 
+# Chaos-on-the-fleet under -race: the population comparison with
+# impairments composed onto the tree links (netem reordering on every
+# aggregation downlink, a hard mid-run outage on the core bottleneck)
+# under the wall-clock watchdog. Gates resilience: no stalls, no shard
+# errors, >= 95% flow completion, and the impairments demonstrably
+# engaged (outage drops in the per-cause link stats).
+fleet-chaos:
+	$(GO) test -race -timeout 600s -run 'TestFleetChaos' -v ./internal/experiments
+
 # Experiment-service smoke under -race, two real processes: a sussd
 # daemon (run via sussim -daemon) and a sussim -submit client sending
 # the same fig11 matrix twice. The second pass must be 100% cache hits
@@ -85,6 +95,14 @@ fleet-smoke:
 # caching contract end to end over the wire.
 sussd-smoke:
 	$(GO) test -race -timeout 300s -run 'TestSussdSmoke' -v ./cmd/sussim
+
+# Daemon fault harness under -race, two real processes: SIGKILL a sussd
+# mid-batch and restart it on the same cache file — the resubmission
+# must be warm for every persisted cell, re-simulate only what was in
+# flight, and produce byte-identical CSV; plus recovery from a cache
+# file with a torn tail (the artifact a crash mid-append leaves).
+sussd-faults:
+	$(GO) test -race -timeout 600s -run 'TestSussdFaultRecovery|TestSussdCorruptCacheRecovery' -v ./cmd/sussim
 
 # Parallel-event-domain determinism under -race: the cluster protocol
 # tests plus every differential that replays the same workload

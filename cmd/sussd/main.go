@@ -3,16 +3,26 @@
 // API with content-addressed result caching. Submitting a job matrix
 // the daemon has already simulated — in any earlier batch, under any
 // spelling of the defaulted fields — returns the identical CSV with
-// zero simulator runs.
+// zero simulator runs. With -cachefile the cache also survives
+// restarts and kill -9: results are appended to a checksummed record
+// log that startup replays (truncating any torn tail), so a recovered
+// daemon re-simulates only the cells that were in flight when it died.
 //
 // Usage:
 //
-//	sussd -addr 127.0.0.1:7077
+//	sussd -addr 127.0.0.1:7077 -cachefile /var/tmp/sussd.cache
 //	curl -s localhost:7077/v1/stats
+//	curl -s localhost:7077/readyz
 //	sussim -submit http://127.0.0.1:7077 -spec '{"kind":"fig11","iters":3}'
+//	curl -s -X DELETE localhost:7077/v1/jobs/j1   # cancel a batch
+//
+// On SIGINT/SIGTERM the daemon drains: /readyz flips to 503, new
+// submissions are refused, every running batch is cancelled (finished
+// cells stay cached), and the process exits once the executors seal
+// their batches or the drain timeout expires.
 //
 // See internal/service for the API and DESIGN.md for the cache-keying
-// rules.
+// and recovery rules.
 package main
 
 import (
@@ -34,15 +44,32 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7077", "listen address (port 0 picks a free port)")
 	workers := flag.Int("workers", 0, "max concurrently simulating cells (0 = GOMAXPROCS)")
 	wallLimit := flag.Duration("walllimit", 0, "per-cell wall-clock watchdog; a stalled cell errors instead of hanging the batch (0 = off)")
+	cacheFile := flag.String("cachefile", "", "append-only result log; replayed at startup so the cache survives restarts and kill -9 (empty = memory-only)")
+	maxQueue := flag.Int("maxqueue", 0, "max queued-but-unsimulated cells before submits get 429 (0 = default, negative = unlimited)")
+	retain := flag.Int("retain", 0, "terminal batches kept before the oldest are evicted (0 = default, negative = unlimited)")
+	drainTimeout := flag.Duration("draintimeout", 15*time.Second, "max wait for running batches to seal during shutdown")
 	flag.Parse()
 
-	srv := service.New(service.Config{Workers: *workers, WallLimit: *wallLimit})
+	srv, err := service.New(service.Config{
+		Workers:        *workers,
+		WallLimit:      *wallLimit,
+		CacheFile:      *cacheFile,
+		MaxQueuedCells: *maxQueue,
+		RetainBatches:  *retain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *cacheFile != "" {
+		fmt.Fprintf(os.Stderr, "sussd: cache replay: %s\n", srv.Recovery())
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// The resolved address line is the startup handshake: wrappers (the
-	// sussd smoke test, scripts using port 0) parse it to find the port.
+	// sussd smoke and fault tests, scripts using port 0) parse it to
+	// find the port.
 	fmt.Printf("sussd listening on %s\n", ln.Addr())
 
 	hs := &http.Server{Handler: srv.Handler()}
@@ -56,8 +83,14 @@ func main() {
 		log.Fatal(err)
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "sussd: %v, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// Drain first: unready, refuse submits, cancel running batches
+		// and wait for them to seal — stream/result watchers observe the
+		// terminal "canceled" snapshots through the still-open listener.
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "sussd: drain: %v\n", err)
+		}
 		if err := hs.Shutdown(ctx); err != nil {
 			hs.Close()
 		}

@@ -60,10 +60,11 @@ func main() {
 	spec := flag.String("spec", "", `with -submit: the job matrix as JSON, e.g. {"kind":"fig11","sizes":[262144],"iters":2,"seed":1}`)
 	outPath := flag.String("o", "", "with -submit: write the result CSV here instead of stdout")
 	workers := flag.Int("workers", 0, "with -daemon: max concurrently simulating cells (0 = GOMAXPROCS)")
+	cacheFile := flag.String("cachefile", "", "with -daemon: append-only result log replayed at startup (empty = memory-only)")
 	flag.Parse()
 
 	if *daemonAddr != "" {
-		if err := runDaemon(*daemonAddr, *workers); err != nil {
+		if err := runDaemon(*daemonAddr, *workers, *cacheFile); err != nil {
 			log.Fatal(err)
 		}
 		return

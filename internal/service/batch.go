@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"suss/internal/experiments"
@@ -31,6 +32,9 @@ const (
 	// panic); it still participates in aggregation the way the CLI
 	// sweep treats failed downloads.
 	CellError CellStatus = "error"
+	// CellSkipped: the batch was cancelled before this cell started;
+	// it was never simulated and is not cached.
+	CellSkipped CellStatus = "skipped"
 )
 
 // CellInfo is one cell's public state: its content-addressed key and
@@ -42,9 +46,10 @@ type CellInfo struct {
 }
 
 const (
-	stateRunning = "running"
-	stateDone    = "done"
-	stateFailed  = "failed"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
 )
 
 // batch is one submitted job matrix: the unit /v1/jobs tracks.
@@ -52,6 +57,20 @@ type batch struct {
 	id      string
 	kind    string
 	created time.Time
+
+	// ctx governs the batch's executor; cancel is fired by
+	// DELETE /v1/jobs/{id} and by daemon drain. In-flight cells run to
+	// completion (a simulation cannot be interrupted mid-run), but no
+	// new cell starts once the context is cancelled.
+	ctx       context.Context
+	cancel    context.CancelFunc
+	cancelReq atomic.Bool
+
+	// queuedLeft tracks this batch's share of the server's global
+	// queued-cell count: initialized to the submit-time miss estimate,
+	// decremented as cells leave the queue (start simulating or are
+	// skipped), drained wholesale when the executor exits.
+	queuedLeft atomic.Int64
 
 	mu      sync.Mutex
 	cells   []CellInfo
@@ -63,11 +82,14 @@ type batch struct {
 	done chan struct{} // closed exactly once, by finish
 }
 
-func newBatch(id, kind string, keys []string) *batch {
+func newBatch(id, kind string, keys []string, parent context.Context) *batch {
+	ctx, cancel := context.WithCancel(parent)
 	b := &batch{
 		id:      id,
 		kind:    kind,
 		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
 		cells:   make([]CellInfo, len(keys)),
 		state:   stateRunning,
 		done:    make(chan struct{}),
@@ -86,23 +108,51 @@ func (b *batch) setCell(i int, st CellStatus, msg string) {
 	b.mu.Unlock()
 }
 
+// requestCancel asks the batch to stop: no new cells start after it
+// returns. Idempotent; a no-op on a terminal batch.
+func (b *batch) requestCancel() {
+	b.cancelReq.Store(true)
+	b.cancel()
+}
+
+// terminal reports whether the batch has sealed (any non-running
+// state) — the retention GC's eviction criterion.
+func (b *batch) terminal() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != stateRunning
+}
+
 // finish seals the batch. Idempotent: a recovery path may call it after
 // the normal path already has.
 func (b *batch) finish(csv []byte, err error) {
+	st := stateDone
+	msg := ""
+	if err != nil {
+		st, msg = stateFailed, err.Error()
+		csv = nil
+	}
+	b.seal(st, csv, msg)
+}
+
+// finishCanceled seals a cancelled batch: cells simulated before the
+// cancel are cached for the next submission, the rest were skipped.
+func (b *batch) finishCanceled(skipped int) {
+	b.seal(stateCanceled, nil, fmt.Sprintf("canceled: %d cell(s) skipped", skipped))
+}
+
+func (b *batch) seal(state string, csv []byte, failure string) {
 	b.mu.Lock()
 	if b.state != stateRunning {
 		b.mu.Unlock()
 		return
 	}
-	if err != nil {
-		b.state = stateFailed
-		b.failure = err.Error()
-	} else {
-		b.state = stateDone
-		b.csv = csv
-	}
+	b.state = state
+	b.csv = csv
+	b.failure = failure
 	b.version++
 	b.mu.Unlock()
+	b.cancel() // release the context; no-op if already cancelled
 	close(b.done)
 }
 
@@ -110,13 +160,14 @@ func (b *batch) finish(csv []byte, err error) {
 type JobStatus struct {
 	ID      string     `json:"id"`
 	Kind    string     `json:"kind"`
-	State   string     `json:"state"` // running | done | failed
+	State   string     `json:"state"` // running | done | failed | canceled
 	Cells   int        `json:"cells"`
 	Pending int        `json:"pending"`
 	Running int        `json:"running"`
 	Done    int        `json:"done"`
 	Cached  int        `json:"cached"`
 	Errors  int        `json:"errors"`
+	Skipped int        `json:"skipped,omitempty"`
 	Error   string     `json:"error,omitempty"`
 	Created time.Time  `json:"created"`
 	Detail  []CellInfo `json:"cells_detail,omitempty"`
@@ -147,6 +198,8 @@ func (b *batch) status(withCells bool) (JobStatus, int) {
 			st.Cached++
 		case CellError:
 			st.Errors++
+		case CellSkipped:
+			st.Skipped++
 		}
 	}
 	if withCells {
@@ -271,9 +324,18 @@ type fleetPlan struct {
 	keys []string
 }
 
+// skippedByCancel reports whether a pool outcome error means the cell
+// never ran because the batch context was cancelled (as opposed to a
+// panic captured by the pool).
+func skippedByCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // runFig11 executes a fig11 batch: serve every warm cell from the
 // cache, simulate the misses on the worker pool, cache what the misses
 // produced, and aggregate exactly the way the in-process sweep does.
+// Cancellation stops new cells at the pool boundary; whatever finished
+// before the cancel stays cached for the next submission.
 func (s *Server) runFig11(b *batch, p fig11Plan) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -292,7 +354,8 @@ func (s *Server) runFig11(b *batch, p fig11Plan) {
 		}
 		miss = append(miss, i)
 	}
-	outs := runner.Map(context.Background(), miss, func(_ context.Context, _ int, i int) (runner.Result, error) {
+	outs := runner.Map(b.ctx, miss, func(_ context.Context, _ int, i int) (runner.Result, error) {
+		s.dequeueCell(b)
 		b.setCell(i, CellRunning, "")
 		s.cellRuns.Add(1)
 		r := runner.Download(p.jobs[i])
@@ -305,19 +368,11 @@ func (s *Server) runFig11(b *batch, p fig11Plan) {
 		case !r.Completed:
 			res.Err = runner.ErrIncomplete
 		}
-		return res, nil
-	}, runner.Options{Workers: s.cfg.Workers})
-	for k, o := range outs {
-		i := miss[k]
-		if o.Err != nil { // pool-level failure: a panic captured by the pool
-			results[i] = runner.Result{Job: p.jobs[i], Err: o.Err}
-			b.setCell(i, CellError, o.Err.Error())
-			continue
-		}
-		res := o.Value
-		results[i] = res
-		// Stalls are wall-clock artifacts, not properties of the config;
-		// everything else (including a deterministic incomplete flow) is.
+		// Cache (and with a cache file, persist) the cell the moment it
+		// finishes, not when the batch does: a crash or cancel mid-batch
+		// then loses only the cells still in flight. Stalls are
+		// wall-clock artifacts, not properties of the config; everything
+		// else (including a deterministic incomplete flow) is cacheable.
 		if res.Stall == nil {
 			if raw, err := encodeJobCell(res); err == nil {
 				s.cache.Put(b.cells[i].Key, raw)
@@ -328,6 +383,27 @@ func (s *Server) runFig11(b *batch, p fig11Plan) {
 		} else {
 			b.setCell(i, CellDone, "")
 		}
+		return res, nil
+	}, runner.Options{Workers: s.cfg.Workers})
+	skipped := 0
+	for k, o := range outs {
+		i := miss[k]
+		if o.Err != nil { // pool-level failure: cancellation skip or captured panic
+			if skippedByCancel(o.Err) {
+				s.dequeueCell(b)
+				b.setCell(i, CellSkipped, "")
+				skipped++
+			} else {
+				b.setCell(i, CellError, o.Err.Error())
+			}
+			results[i] = runner.Result{Job: p.jobs[i], Err: o.Err}
+			continue
+		}
+		results[i] = o.Value
+	}
+	if skipped > 0 {
+		b.finishCanceled(skipped)
+		return
 	}
 	fig := experiments.Fig11FromResults(p.server, p.sizes, p.iters, results, false)
 	var buf bytes.Buffer
@@ -361,7 +437,8 @@ func (s *Server) runFleet(b *batch, p fleetPlan) {
 		}
 		miss = append(miss, i)
 	}
-	outs := runner.Map(context.Background(), miss, func(_ context.Context, _ int, i int) (runner.FleetResult, error) {
+	outs := runner.Map(b.ctx, miss, func(_ context.Context, _ int, i int) (runner.FleetResult, error) {
+		s.dequeueCell(b)
 		b.setCell(i, CellRunning, "")
 		s.cellRuns.Add(1)
 		sj := p.jobs[i/n]
@@ -374,17 +451,8 @@ func (s *Server) runFleet(b *batch, p fleetPlan) {
 		case r.Stall != nil:
 			res.Err = r.Stall
 		}
-		return res, nil
-	}, runner.Options{Workers: s.cfg.Workers})
-	for k, o := range outs {
-		i := miss[k]
-		if o.Err != nil {
-			results[i/n][i%n] = runner.FleetResult{Err: o.Err}
-			b.setCell(i, CellError, o.Err.Error())
-			continue
-		}
-		res := o.Value
-		results[i/n][i%n] = res
+		// Cache per cell as it completes (see runFig11): crash or cancel
+		// mid-batch loses only the in-flight shards.
 		if res.Err == nil && res.Stall == nil {
 			if raw, err := encodeShardCell(res); err == nil {
 				s.cache.Put(b.cells[i].Key, raw)
@@ -395,6 +463,27 @@ func (s *Server) runFleet(b *batch, p fleetPlan) {
 		} else {
 			b.setCell(i, CellDone, "")
 		}
+		return res, nil
+	}, runner.Options{Workers: s.cfg.Workers})
+	skipped := 0
+	for k, o := range outs {
+		i := miss[k]
+		if o.Err != nil {
+			if skippedByCancel(o.Err) {
+				s.dequeueCell(b)
+				b.setCell(i, CellSkipped, "")
+				skipped++
+			} else {
+				b.setCell(i, CellError, o.Err.Error())
+			}
+			results[i/n][i%n] = runner.FleetResult{Err: o.Err}
+			continue
+		}
+		results[i/n][i%n] = o.Value
+	}
+	if skipped > 0 {
+		b.finishCanceled(skipped)
+		return
 	}
 	fr := experiments.FleetFromShards(p.fc, results, false)
 	var buf bytes.Buffer

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Watchers of a batch that never finishes — progress streams and
+// blocking result?wait=1 reads — must not outlive their clients: when
+// the client disconnects, the handler goroutine exits. Run under -race
+// in CI; the settle check fails if handlers leak.
+func TestNoGoroutineLeakOnClientDisconnect(t *testing.T) {
+	s, c := newServerClient(t, Config{Workers: 1})
+
+	// A synthetic batch that stays running for the whole test: watchers
+	// attached to it can only exit because their client went away.
+	b := newBatch("j999", "fig11", make([]string, 4), s.rootCtx)
+	s.mu.Lock()
+	s.batches[b.id] = b
+	s.order = append(s.order, b.id)
+	s.mu.Unlock()
+	defer b.finish(nil, errors.New("hygiene test over"))
+
+	tr := &http.Transport{}
+	hc := &http.Client{Transport: tr}
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	const watchers = 8
+	for i := 0; i < watchers; i++ {
+		for _, path := range []string{"/v1/jobs/j999/stream", "/v1/jobs/j999/result?wait=1"} {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, c.url+p, nil)
+				resp, err := hc.Do(req)
+				if err != nil {
+					return // cancelled mid-dial: nothing attached
+				}
+				io.Copy(io.Discard, resp.Body) // blocks until the cancel severs the stream
+				resp.Body.Close()
+			}(path)
+		}
+	}
+
+	// Let every watcher attach (the stream handler has written its
+	// first snapshot by then), then sever all of them at once.
+	time.Sleep(300 * time.Millisecond)
+	mid := runtime.NumGoroutine()
+	if mid < baseline+watchers {
+		t.Logf("only %d goroutines above baseline while %d watchers attached", mid-baseline, 2*watchers)
+	}
+	cancel()
+	wg.Wait()
+	tr.CloseIdleConnections()
+
+	// The handlers notice the dead connections (the stream poll ticks
+	// every 150ms) and exit; the count settles back to about baseline.
+	const slack = 6
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines did not settle: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -1,0 +1,194 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The durable half of the content-addressed cache: an append-only
+// record log. Put appends one framed record per new cell; New replays
+// the whole file at startup. Because every record carries its own
+// length and SHA-256 checksum, a daemon killed mid-write (kill -9,
+// OOM, power loss short of losing the page cache) costs at most the
+// records that never reached the file: replay stops at the first torn
+// or corrupt record, truncates the tail there, and reports what was
+// dropped. Everything before the truncation point is served as cache
+// hits with zero simulator runs.
+//
+// File layout:
+//
+//	header  "sussdcache/1\n"
+//	record  u32(BE) payload length
+//	        [32]byte sha256(payload)
+//	        payload = u16(BE) key length | key | value
+//
+// Records are immutable and never rewritten (a key is a hash of
+// everything that determines the value), so append is the only write
+// path and replay order is irrelevant beyond last-write-wins.
+
+const (
+	cacheMagic = "sussdcache/1\n"
+	// maxRecordLen bounds one record's payload: a fleet shard cell is
+	// the largest record (per-flow JSON), well under this.
+	maxRecordLen = 1 << 26
+	frameLen     = 4 + sha256.Size
+)
+
+// RecoveryInfo reports what replaying a cache file found at startup.
+type RecoveryInfo struct {
+	// Entries is the number of records replayed into the cache.
+	Entries int `json:"entries"`
+	// Truncated is set when a torn or corrupt tail was cut off.
+	Truncated bool `json:"truncated,omitempty"`
+	// DroppedBytes counts the truncated tail.
+	DroppedBytes int64 `json:"dropped_bytes,omitempty"`
+	// Reason says why truncation happened ("" when the file was clean).
+	Reason string `json:"reason,omitempty"`
+}
+
+func (ri RecoveryInfo) String() string {
+	if !ri.Truncated {
+		return fmt.Sprintf("%d record(s) replayed, file clean", ri.Entries)
+	}
+	return fmt.Sprintf("%d record(s) replayed, %d tail byte(s) dropped (%s)",
+		ri.Entries, ri.DroppedBytes, ri.Reason)
+}
+
+// cacheLog is an open cache file positioned for appends. Callers
+// serialize access (the Cache's mutex).
+type cacheLog struct {
+	f   *os.File
+	buf []byte // reusable record scratch
+}
+
+// openCacheLog opens (or creates) the log at path, replays every
+// intact record into entries, and truncates the file at the first bad
+// record so subsequent appends extend a known-good prefix.
+func openCacheLog(path string, entries map[string][]byte) (*cacheLog, RecoveryInfo, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	info, good, err := replay(f, entries)
+	if err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	if info.Truncated {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("truncating corrupt tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	if good == 0 {
+		if _, err := f.WriteString(cacheMagic); err != nil {
+			f.Close()
+			return nil, info, err
+		}
+	}
+	return &cacheLog{f: f}, info, nil
+}
+
+// replay scans the file and fills entries, returning the offset of the
+// last intact record's end. It never errors on corruption — that is
+// reported in RecoveryInfo and handled by truncation — only on I/O.
+func replay(f *os.File, entries map[string][]byte) (RecoveryInfo, int64, error) {
+	var info RecoveryInfo
+	st, err := f.Stat()
+	if err != nil {
+		return info, 0, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return info, 0, nil
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]byte, len(cacheMagic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		// Shorter than the header: a daemon died during file creation.
+		info.Truncated, info.DroppedBytes, info.Reason = true, size, "torn header"
+		return info, 0, nil
+	}
+	if string(hdr) != cacheMagic {
+		// A full-length header that is not ours is somebody else's file;
+		// refusing beats silently destroying it.
+		return info, 0, fmt.Errorf("cache file has bad magic %q (not a sussd cache)", hdr)
+	}
+	good := int64(len(cacheMagic))
+	frame := make([]byte, frameLen)
+	for {
+		if _, err := io.ReadFull(r, frame); err != nil {
+			if err != io.EOF {
+				info.Truncated, info.Reason = true, "torn record frame"
+			}
+			break
+		}
+		n := binary.BigEndian.Uint32(frame[:4])
+		if n < 2 || n > maxRecordLen {
+			info.Truncated, info.Reason = true, fmt.Sprintf("implausible record length %d", n)
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			info.Truncated, info.Reason = true, "torn record payload"
+			break
+		}
+		sum := sha256.Sum256(payload)
+		if !bytes.Equal(sum[:], frame[4:]) {
+			info.Truncated, info.Reason = true, "record checksum mismatch"
+			break
+		}
+		klen := int(binary.BigEndian.Uint16(payload[:2]))
+		if 2+klen > len(payload) {
+			info.Truncated, info.Reason = true, "record key overruns payload"
+			break
+		}
+		entries[string(payload[2:2+klen])] = payload[2+klen:]
+		good += int64(frameLen) + int64(n)
+		info.Entries++
+	}
+	if info.Truncated {
+		info.DroppedBytes = size - good
+	}
+	return info, good, nil
+}
+
+// append writes one record in a single Write call, so a crash leaves
+// either a complete record or a torn tail the next replay truncates.
+func (l *cacheLog) append(key string, val []byte) error {
+	n := 2 + len(key) + len(val)
+	if n > maxRecordLen {
+		return fmt.Errorf("cache record for %s is %d bytes, over the %d limit", key, n, maxRecordLen)
+	}
+	need := frameLen + n
+	if cap(l.buf) < need {
+		l.buf = make([]byte, 0, need*2)
+	}
+	b := l.buf[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(n))
+	b = append(b, make([]byte, sha256.Size)...) // checksum placeholder
+	b = binary.BigEndian.AppendUint16(b, uint16(len(key)))
+	b = append(b, key...)
+	b = append(b, val...)
+	sum := sha256.Sum256(b[frameLen:])
+	copy(b[4:frameLen], sum[:])
+	l.buf = b
+	_, err := l.f.Write(b)
+	return err
+}
+
+func (l *cacheLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	return l.f.Close()
+}

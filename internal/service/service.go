@@ -7,18 +7,31 @@
 // resubmitting a config the daemon has seen costs zero simulator runs,
 // and a changed sweep only simulates the cells that actually changed.
 //
+// The daemon is built to survive operation, not just the happy path:
+// the cache can be backed by an append-only record log (Config.
+// CacheFile) that a restarted — or kill -9'd — daemon replays, batches
+// are cancellable (DELETE /v1/jobs/{id}) and bounded by admission
+// control (429 + Retry-After past the queued-cell limit), terminal
+// batches are garbage-collected past a retention cap, and /healthz +
+// /readyz expose liveness and drain state.
+//
 // API:
 //
-//	POST /v1/jobs             submit a matrix  → {id, cells, cached}
-//	GET  /v1/jobs             list batches
-//	GET  /v1/jobs/{id}        per-cell status
-//	GET  /v1/jobs/{id}/stream NDJSON progress until terminal
-//	GET  /v1/jobs/{id}/result the CSV the CLI would emit (?wait=1 blocks)
-//	GET  /v1/stats            cache hit/miss/run counters
+//	POST   /v1/jobs             submit a matrix  → {id, cells, cached}
+//	GET    /v1/jobs             list batches
+//	GET    /v1/jobs/{id}        per-cell status
+//	DELETE /v1/jobs/{id}        cancel: no new cells start, done cells stay cached
+//	GET    /v1/jobs/{id}/stream NDJSON progress until terminal
+//	GET    /v1/jobs/{id}/result the CSV the CLI would emit (?wait=1 blocks)
+//	GET    /v1/stats            cache/queue/eviction counters
+//	GET    /healthz             liveness (always 200 while serving)
+//	GET    /readyz              readiness (503 while draining)
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -32,6 +45,13 @@ import (
 	"suss/internal/service/confhash"
 )
 
+// Defaults for the admission-control and retention knobs (Config value
+// 0; negative disables the bound entirely).
+const (
+	DefaultMaxQueuedCells = 4096
+	DefaultRetainBatches  = 64
+)
+
 // Config tunes a Server.
 type Config struct {
 	// Workers bounds concurrently simulating cells (≤0 = GOMAXPROCS).
@@ -39,6 +59,43 @@ type Config struct {
 	// WallLimit arms the per-cell wall-clock watchdog (0 = off). A
 	// stalled cell is reported as an error and never cached.
 	WallLimit time.Duration
+	// CacheFile backs the result cache with an append-only record log:
+	// Put appends, New replays, a torn/corrupt tail is truncated. Empty
+	// = memory-only (a restart re-simulates everything).
+	CacheFile string
+	// MaxQueuedCells bounds queued-but-unsimulated cells across all
+	// batches. A submit that would exceed it is refused with 429 +
+	// Retry-After — except on an idle queue, where any single batch is
+	// admitted so one big sweep is never unsubmittable. 0 = the
+	// default; negative = unlimited.
+	MaxQueuedCells int
+	// RetainBatches caps terminal (done/failed/canceled) batches kept
+	// in the registry; the oldest beyond the cap are evicted and
+	// counted in Stats.EvictedJobs. 0 = the default; negative =
+	// unlimited.
+	RetainBatches int
+}
+
+func (c Config) maxQueued() int64 {
+	switch {
+	case c.MaxQueuedCells < 0:
+		return 0 // unlimited
+	case c.MaxQueuedCells == 0:
+		return DefaultMaxQueuedCells
+	default:
+		return int64(c.MaxQueuedCells)
+	}
+}
+
+func (c Config) retainBatches() int {
+	switch {
+	case c.RetainBatches < 0:
+		return -1 // unlimited
+	case c.RetainBatches == 0:
+		return DefaultRetainBatches
+	default:
+		return c.RetainBatches
+	}
 }
 
 // Server is the experiment service. Create with New, expose with
@@ -46,8 +103,19 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	cache    *Cache
+	recovery RecoveryInfo
 	start    time.Time
 	cellRuns atomic.Int64 // cells this daemon actually simulated
+	queued   atomic.Int64 // cells admitted but not yet simulating
+	evicted  atomic.Int64 // terminal batches GC'd from the registry
+	draining atomic.Bool
+
+	// rootCtx parents every batch context; Drain cancels it so daemon
+	// shutdown stops all running batches. running counts live batch
+	// executors.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	running    sync.WaitGroup
 
 	mu      sync.Mutex
 	batches map[string]*batch
@@ -55,14 +123,90 @@ type Server struct {
 	nextID  int
 }
 
-// New returns an idle server with an empty cache.
-func New(cfg Config) *Server {
-	return &Server{
-		cfg:     cfg,
-		cache:   NewCache(),
-		start:   time.Now(),
-		batches: make(map[string]*batch),
+// New returns an idle server. With Config.CacheFile set it replays the
+// record log first — Recovery reports what it found — and every result
+// cached from then on survives a crash.
+func New(cfg Config) (*Server, error) {
+	cache := NewCache()
+	var info RecoveryInfo
+	if cfg.CacheFile != "" {
+		var err error
+		cache, info, err = NewPersistentCache(cfg.CacheFile)
+		if err != nil {
+			return nil, fmt.Errorf("opening cache file: %w", err)
+		}
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		cache:      cache,
+		recovery:   info,
+		start:      time.Now(),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		batches:    make(map[string]*batch),
+	}, nil
+}
+
+// Recovery reports what replaying the cache file found at startup
+// (zero value for a memory-only server).
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
+
+// Ready reports whether the server accepts new work (false once a
+// drain has begun) — the /readyz answer.
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
+// BeginDrain flips the server unready: /readyz turns 503 and new
+// submissions are refused with ErrDraining. Running batches continue.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain shuts the server down: stop admitting work, cancel every
+// running batch (in-flight cells finish, queued cells are skipped),
+// wait for the executors to seal their batches, and close the cache
+// log. Returns ctx's error if the executors outlive it.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	s.rootCancel()
+	done := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if cerr := s.cache.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ErrDraining refuses submissions during shutdown.
+var ErrDraining = errors.New("service is draining, not accepting new jobs")
+
+// OverloadError is the admission-control refusal: the queue of
+// unsimulated cells is full. Clients should back off RetryAfter.
+type OverloadError struct {
+	Queued, Limit int64
+	RetryAfter    time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("queue full: %d cell(s) queued, limit %d; retry in %v", e.Queued, e.Limit, e.RetryAfter)
+}
+
+// retryAfter estimates how long the backlog needs to shrink: the queue
+// drains at worker speed, and even a fast cell is tens of
+// milliseconds, so a second per 32 queued cells is a usable floor.
+func retryAfter(queued int64) time.Duration {
+	d := time.Duration(queued/32+1) * time.Second
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
 }
 
 // SubmitRequest is the POST /v1/jobs body. Kind selects the matrix:
@@ -104,7 +248,17 @@ type Stats struct {
 	CellRuns     int64   `json:"cell_runs"`
 	SimRuns      int64   `json:"sim_runs"`
 	Jobs         int     `json:"jobs"`
+	QueuedCells  int64   `json:"queued_cells"`
+	EvictedJobs  int64   `json:"evicted_jobs"`
+	Draining     bool    `json:"draining,omitempty"`
 	UptimeSec    float64 `json:"uptime_s"`
+
+	// Cache-file accounting: what startup replay found and whether any
+	// appends have failed since (0 on a healthy or memory-only cache).
+	CacheReplayed     int    `json:"cache_replayed,omitempty"`
+	CacheDroppedBytes int64  `json:"cache_dropped_bytes,omitempty"`
+	CacheDropReason   string `json:"cache_drop_reason,omitempty"`
+	PersistErrors     int64  `json:"cache_persist_errors,omitempty"`
 }
 
 // Handler returns the service's HTTP routes.
@@ -113,9 +267,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -137,22 +294,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Submit(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		var oe *OverloadError
+		switch {
+		case errors.As(err, &oe):
+			w.Header().Set("Retry-After", strconv.Itoa(int(oe.RetryAfter/time.Second)))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "10")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// Submit validates a request, registers the batch, and starts it in
-// the background. Exposed for in-process embedding (cmd/sussim's
-// -daemon mode shares it with the HTTP path).
+// Submit validates a request, applies admission control, registers the
+// batch, and starts it in the background. Exposed for in-process
+// embedding (cmd/sussim's -daemon mode shares it with the HTTP path).
 func (s *Server) Submit(req SubmitRequest) (SubmitResponse, error) {
+	if s.draining.Load() {
+		return SubmitResponse{}, ErrDraining
+	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
 	}
 	var keys []string
-	var start func(b *batch)
+	var run func(b *batch)
 	switch req.Kind {
 	case "fig11":
 		p, err := s.planFig11(req, seed)
@@ -160,14 +330,14 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResponse, error) {
 			return SubmitResponse{}, err
 		}
 		keys = p.keys
-		start = func(b *batch) { go s.runFig11(b, p) }
+		run = func(b *batch) { s.runFig11(b, p) }
 	case "fleet":
 		p, err := s.planFleet(req, seed)
 		if err != nil {
 			return SubmitResponse{}, err
 		}
 		keys = p.keys
-		start = func(b *batch) { go s.runFleet(b, p) }
+		run = func(b *batch) { s.runFleet(b, p) }
 	default:
 		return SubmitResponse{}, fmt.Errorf("unknown kind %q (want fig11 or fleet)", req.Kind)
 	}
@@ -178,15 +348,94 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResponse, error) {
 			cached++
 		}
 	}
+	// Admission control: bound the backlog of cells that are admitted
+	// but not yet simulating. A batch landing on an idle queue is
+	// always admitted (otherwise a single batch bigger than the cap
+	// could never run); past that, the cap holds within one batch.
+	est := int64(len(keys) - cached)
+	if cap := s.cfg.maxQueued(); cap > 0 {
+		if q := s.queued.Load(); q > 0 && q+est > cap {
+			return SubmitResponse{}, &OverloadError{Queued: q, Limit: cap, RetryAfter: retryAfter(q)}
+		}
+	}
+	s.queued.Add(est)
+
 	s.mu.Lock()
 	s.nextID++
 	id := "j" + strconv.Itoa(s.nextID)
-	b := newBatch(id, req.Kind, keys)
+	b := newBatch(id, req.Kind, keys, s.rootCtx)
+	b.queuedLeft.Store(est)
 	s.batches[id] = b
 	s.order = append(s.order, id)
 	s.mu.Unlock()
-	start(b)
+
+	s.running.Add(1)
+	go s.runBatch(b, run)
 	return SubmitResponse{ID: id, Kind: req.Kind, Cells: len(keys), Cached: cached}, nil
+}
+
+// runBatch wraps a batch executor with the lifecycle bookkeeping every
+// kind shares: the drain waitgroup, release of queue slots the
+// executor never consumed (cancelled cells, estimate drift), and the
+// retention GC once the batch is terminal.
+func (s *Server) runBatch(b *batch, run func(*batch)) {
+	defer s.running.Done()
+	defer s.gcBatches()
+	defer s.drainQueue(b)
+	run(b)
+}
+
+// dequeueCell moves one of b's cells out of the admission queue — it
+// is now simulating (or was skipped by cancellation). The guard keeps
+// a cell that was never counted (cache estimate drift) from driving
+// the global gauge negative.
+func (s *Server) dequeueCell(b *batch) {
+	if b.queuedLeft.Add(-1) < 0 {
+		b.queuedLeft.Add(1)
+		return
+	}
+	s.queued.Add(-1)
+}
+
+// drainQueue releases whatever share of the admission queue the batch
+// still holds — the executor exited (normally, cancelled, or by
+// panic), so nothing of it is queued anymore.
+func (s *Server) drainQueue(b *batch) {
+	if left := b.queuedLeft.Swap(-1 << 40); left > 0 {
+		s.queued.Add(-left)
+	}
+}
+
+// gcBatches evicts the oldest terminal batches beyond the retention
+// cap. Evicted IDs 404 afterwards; the count survives in Stats.
+func (s *Server) gcBatches() {
+	keep := s.cfg.retainBatches()
+	if keep < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if s.batches[id].terminal() {
+			terminal++
+		}
+	}
+	evict := terminal - keep
+	if evict <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if evict > 0 && s.batches[id].terminal() {
+			delete(s.batches, id)
+			s.evicted.Add(1)
+			evict--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 func (s *Server) planFig11(req SubmitRequest, seed int64) (fig11Plan, error) {
@@ -292,6 +541,21 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleCancel is DELETE /v1/jobs/{id}: after it returns, no new cell
+// of the batch starts. Cells already simulating finish (and stay
+// cached); queued cells are skipped; the batch seals as "canceled".
+// Idempotent, and a no-op on an already-terminal batch.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	b := s.batch(r.PathValue("id"))
+	if b == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	b.requestCancel()
+	st, _ := b.status(false)
+	writeJSON(w, http.StatusOK, st)
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	b := s.batch(r.PathValue("id"))
 	if b == nil {
@@ -314,6 +578,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Write(csv)
 	case stateFailed:
 		writeError(w, http.StatusInternalServerError, "%s", failure)
+	case stateCanceled:
+		st, _ := b.status(false)
+		writeJSON(w, http.StatusGone, st)
 	default:
 		st, _ := b.status(false)
 		writeJSON(w, http.StatusConflict, st)
@@ -360,16 +627,37 @@ func (s *Server) ReadStats() Stats {
 	jobs := len(s.batches)
 	s.mu.Unlock()
 	return Stats{
-		CacheHits:    s.cache.Hits(),
-		CacheMisses:  s.cache.Misses(),
-		CacheEntries: s.cache.Len(),
-		CellRuns:     s.cellRuns.Load(),
-		SimRuns:      runner.SimRuns(),
-		Jobs:         jobs,
-		UptimeSec:    time.Since(s.start).Seconds(),
+		CacheHits:         s.cache.Hits(),
+		CacheMisses:       s.cache.Misses(),
+		CacheEntries:      s.cache.Len(),
+		CellRuns:          s.cellRuns.Load(),
+		SimRuns:           runner.SimRuns(),
+		Jobs:              jobs,
+		QueuedCells:       s.queued.Load(),
+		EvictedJobs:       s.evicted.Load(),
+		Draining:          s.draining.Load(),
+		UptimeSec:         time.Since(s.start).Seconds(),
+		CacheReplayed:     s.recovery.Entries,
+		CacheDroppedBytes: s.recovery.DroppedBytes,
+		CacheDropReason:   s.recovery.Reason,
+		PersistErrors:     s.cache.PersistErrors(),
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.ReadStats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.Ready() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ready\n"))
 }

@@ -22,7 +22,16 @@ type client struct {
 
 func newClient(t *testing.T) *client {
 	t.Helper()
-	ts := httptest.NewServer(New(Config{Workers: 4}).Handler())
+	return newClientWith(t, Config{Workers: 4})
+}
+
+func newClientWith(t *testing.T, cfg Config) *client {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return &client{t: t, url: ts.URL}
 }
